@@ -1,0 +1,87 @@
+"""Ablation: workload-driven option selection (concluding remarks).
+
+DESIGN.md calls out the rule-driven option choice as the design
+decision to ablate: does letting "query information steer the mapping
+towards limited de-normalization" actually beat (a) the always-
+normalize naive stance and (b) the fixed default options, under a
+co-access-heavy workload?  The I/O cost model prices each design on
+the same conceptual query profile.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.engine.cost import TableStatistics, entity_fetch_cost
+from repro.mapper import MappingOptions, map_schema
+from repro.mapper.expert import QueryPattern, QueryProfile, recommend_options
+from repro.ridl import ConceptualQuery, FactSelection, QueryCompiler
+
+STATISTICS = TableStatistics(default_rows=100_000)
+
+PROFILE = QueryProfile(
+    (
+        QueryPattern(
+            "Paper",
+            ("Paper_has_Title", "submission", "presents", "scheduled"),
+            frequency=100.0,
+        ),
+        QueryPattern("Paper", ("Paper_has_Title",), frequency=10.0),
+    )
+)
+
+
+def workload_cost(result, profile):
+    compiler = QueryCompiler(result)
+    total = 0.0
+    for pattern in profile.patterns:
+        compiled = compiler.compile(
+            ConceptualQuery(
+                pattern.object_type,
+                selections=tuple(FactSelection(f) for f in pattern.facts),
+            )
+        )
+        total += pattern.frequency * entity_fetch_cost(
+            result.relational, compiled.relations_touched, STATISTICS
+        )
+    return total
+
+
+def test_recommendation(benchmark, fig6_schema):
+    recommendation = benchmark(
+        recommend_options, fig6_schema, PROFILE, statistics=STATISTICS
+    )
+    assert recommendation.best.feasible
+
+
+def test_ablation_recommended_beats_default(fig6_schema):
+    recommendation = recommend_options(
+        fig6_schema, PROFILE, statistics=STATISTICS
+    )
+    default_result = map_schema(fig6_schema, MappingOptions())
+    recommended_result = map_schema(fig6_schema, recommendation.best.options)
+
+    default_cost = workload_cost(default_result, PROFILE)
+    recommended_cost = workload_cost(recommended_result, PROFILE)
+
+    assert recommended_cost < default_cost
+    emit(
+        "Ablation — expert rules vs fixed defaults "
+        "(weighted page reads for the co-access workload)",
+        [
+            f"default options: {default_cost:.0f}",
+            f"recommended ({recommendation.best.label}): "
+            f"{recommended_cost:.0f}",
+            f"improvement: {default_cost / recommended_cost:.1f}x",
+        ],
+    )
+
+
+def test_cold_workload_not_denormalized(fig6_schema):
+    """The advisor must not denormalize when the workload doesn't pay."""
+    cold = QueryProfile(
+        (QueryPattern("Paper", ("Paper_has_Title",), frequency=1.0),)
+    )
+    recommendation = recommend_options(
+        fig6_schema, cold, statistics=STATISTICS
+    )
+    assert recommendation.best.label == "default (SEPARATE)"

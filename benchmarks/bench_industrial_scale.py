@@ -1,0 +1,90 @@
+"""Section 5 deployment statistics.
+
+"It routinely generates databases of up to 120-150 ORACLE tables
+(this is not a limit).  More interestingly perhaps, the generated
+(pseudo-)SQL constraints cause the output design to reach approx. 1
+to 1.2 pages per table on the average, not counting forwards or
+backwards maps."
+
+The industrial schemas are proprietary; a seeded random schema with
+comparable shape statistics is mapped instead.  Asserted shape: the
+table count lands in the paper's 120-150 band, the DDL carries a
+large constraint load (the same order of pages-per-table), and the
+"not a limit" claim holds by mapping a still larger schema.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+from repro.workloads import SchemaShape, generate_schema
+
+LINES_PER_PAGE = 54
+
+INDUSTRIAL_SHAPE = SchemaShape(
+    entity_types=90,
+    attributes_per_entity=(4, 9),
+    optional_ratio=0.5,
+    rich_constraints=True,
+    exclusion_groups=5,
+    subset_ratio=0.9,
+    value_ratio=0.5,
+    alternate_identifier_ratio=0.3,
+    many_to_many_per_entity=0.6,
+)
+
+
+@pytest.fixture(scope="module")
+def industrial_schema():
+    return generate_schema(INDUSTRIAL_SHAPE, seed=1989)
+
+
+def test_industrial_mapping(benchmark, industrial_schema):
+    result = benchmark(
+        map_schema,
+        industrial_schema,
+        MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    )
+    table_count = len(result.relational.relations)
+    assert 120 <= table_count <= 150  # the paper's reported band
+
+    ddl = result.sql("oracle")
+    lines = len(ddl.splitlines())
+    pages_per_table = lines / LINES_PER_PAGE / table_count
+    # Same order as the paper's 1-1.2 pages/table; the exact figure
+    # depends on their pretty-printer and schema width (unknowable).
+    assert 0.5 <= pages_per_table <= 1.5
+
+    stats = result.relational.stats()
+    emit(
+        "§5 — industrial-scale statistics (paper: 120-150 tables, "
+        "~1-1.2 pages/table)",
+        [
+            f"conceptual: {industrial_schema.stats()}",
+            f"tables generated: {table_count}",
+            f"ORACLE DDL: {lines} lines = {lines / LINES_PER_PAGE:.0f} pages "
+            f"-> {pages_per_table:.2f} pages/table",
+            f"constraints: {stats['constraints']} "
+            f"(FK {stats['foreign_keys']}, CHECK {stats['checks']}, "
+            f"views {stats['view_constraints']}) "
+            f"+ {len(result.pseudo_constraints)} pseudo",
+        ],
+    )
+
+
+def test_not_a_limit():
+    """'(this is not a limit)' — a substantially larger schema maps too."""
+    schema = generate_schema(
+        SchemaShape(entity_types=200, rich_constraints=True), seed=7
+    )
+    result = map_schema(schema)
+    assert len(result.relational.relations) > 200
+
+
+def test_ddl_generation_at_scale(benchmark, industrial_schema):
+    result = map_schema(
+        industrial_schema,
+        MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    )
+    ddl = benchmark(result.sql, "oracle")
+    assert ddl.count("CREATE TABLE") == len(result.relational.relations)

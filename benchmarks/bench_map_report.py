@@ -1,0 +1,65 @@
+"""Section 4.3: the map report fragments.
+
+Regenerates both directions of the cross-reference link and asserts
+the shapes of the paper's two printed fragments: the forwards map
+(fact/sublink/identifier -> SELECT / UNIQUE) and the backwards map
+(TABLE / COLUMN / constraint -> DERIVED FROM concepts).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+from repro.mapper.mapreport import render_backwards_map, render_forwards_map
+
+OPTIONS = MappingOptions(
+    sublink_overrides=(("Invited_Paper_IS_Paper", SublinkPolicy.INDICATOR),)
+)
+
+
+@pytest.fixture(scope="module")
+def result(fig6_schema):
+    return map_schema(fig6_schema, OPTIONS)
+
+
+def test_forwards_map(benchmark, result):
+    report = benchmark(render_forwards_map, result)
+    # Fragment 1 of the paper.
+    assert (
+        "FACT WITH ROLE presented_by ON NOLOT Program_Paper AND ROLE "
+        "presenting ON LOT-NOLOT Person" in report
+    )
+    assert "SELECT Paper_ProgramId , Person_presenting" in report
+    assert "WHERE ( Person_presenting IS NOT NULL )" in report
+    assert "SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper" in report
+    assert "SELECT Paper_ProgramId_Is , Paper_Id" in report
+    assert "IDENTIFIER : ROLE with ON NOLOT Paper AND LOT Paper_Id" in report
+    assert "UNIQUE ( Paper_Id )" in report
+    index = report.index("FACT WITH ROLE presented_by")
+    emit("§4.3 — forwards map fragment", report[index:index + 320].splitlines())
+
+
+def test_backwards_map(benchmark, result):
+    report = benchmark(render_backwards_map, result)
+    # Fragment 2 of the paper.
+    assert "TABLE Paper" in report
+    assert "DERIVED FROM" in report
+    assert "COLUMN Paper_ProgramId IN TABLE Program_Paper" in report
+    assert "EQUALITY VIEW CONSTRAINT :" in report
+    assert "FOREIGN KEY Program_Paper ( Paper_ProgramId )" in report
+    assert "REFERENCES Paper ( Paper_ProgramId_Is )" in report
+    index = report.index("TABLE Paper")
+    emit(
+        "§4.3 — backwards map fragment", report[index:index + 420].splitlines()
+    )
+
+
+def test_every_concept_covered(result):
+    """The forwards map covers every fact type and sublink; the
+    backwards map covers every relation and derived constraint."""
+    concepts = " ".join(concept for concept, _ in result.provenance.forward)
+    for fact in result.canonical.fact_types:
+        assert f"ROLE {fact.first.name}" in concepts
+    report = render_backwards_map(result)
+    for relation in result.relational.relations:
+        assert f"TABLE {relation.name}" in report

@@ -1,0 +1,80 @@
+"""Section 4.2.1: the null-value option sweep.
+
+"The first alternative, NULL NOT ALLOWED, is a very restrictive one
+... As a consequence, a large number of small tables will in general
+be generated."  The sweep maps one schema under all four policies and
+asserts the predicted ordering of table counts and nullable-column
+counts.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.mapper import MappingOptions, NullPolicy, map_schema
+from repro.workloads import SchemaShape, generate_schema
+
+POLICIES = (
+    NullPolicy.NOT_ALLOWED,
+    NullPolicy.NOT_IN_KEYS,
+    NullPolicy.DEFAULT,
+    NullPolicy.ALLOWED,
+)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return generate_schema(
+        SchemaShape(entity_types=25, optional_ratio=0.5), seed=23
+    )
+
+
+def measure(schema, policy):
+    result = map_schema(schema, MappingOptions(null_policy=policy))
+    relations = result.relational.relations
+    nullable = sum(
+        1 for r in relations for a in r.attributes if a.nullable
+    )
+    attributes = sum(len(r.attributes) for r in relations)
+    return {
+        "tables": len(relations),
+        "nullable": nullable,
+        "attributes": attributes,
+        "avg_width": attributes / len(relations),
+    }
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_policy(benchmark, schema, policy):
+    measured = benchmark(measure, schema, policy)
+    if policy is NullPolicy.NOT_ALLOWED:
+        assert measured["nullable"] == 0
+
+
+def test_null_policy_sweep_shape(schema):
+    rows = {policy: measure(schema, policy) for policy in POLICIES}
+    # "A large number of small tables" under NULL NOT ALLOWED.
+    assert (
+        rows[NullPolicy.NOT_ALLOWED]["tables"]
+        > rows[NullPolicy.DEFAULT]["tables"]
+    )
+    assert (
+        rows[NullPolicy.NOT_ALLOWED]["avg_width"]
+        < rows[NullPolicy.DEFAULT]["avg_width"]
+    )
+    # NOT IN KEYS sits between the extremes.
+    assert (
+        rows[NullPolicy.DEFAULT]["tables"]
+        <= rows[NullPolicy.NOT_IN_KEYS]["tables"]
+        <= rows[NullPolicy.NOT_ALLOWED]["tables"]
+    )
+    # No nullable column at all under the restrictive policy.
+    assert rows[NullPolicy.NOT_ALLOWED]["nullable"] == 0
+    assert rows[NullPolicy.DEFAULT]["nullable"] > 0
+    emit(
+        "§4.2.1 — null-value option sweep",
+        [
+            f"{policy.value:28s} tables={m['tables']:3d} "
+            f"nullable={m['nullable']:3d} avg_width={m['avg_width']:.1f}"
+            for policy, m in rows.items()
+        ],
+    )

@@ -1,0 +1,72 @@
+"""Figures 1 and 5: the RIDL* architecture, exercised end to end.
+
+One benchmark runs the whole workbench pipeline on the CRIS case —
+meta-database check-in (RIDL-G), analysis (RIDL-A), rule-driven
+mapping (RIDL-M), DDL generation, map report — the path a database
+engineer walks in figure 1; another isolates the figure-5 engine
+(transformation base + rule base + engine) on the binary phase.
+"""
+
+from conftest import emit
+from repro.analyzer import analyze
+from repro.mapper import (
+    MappingOptions,
+    MappingState,
+    SublinkPolicy,
+    TransformationEngine,
+    map_schema,
+)
+from repro.metadb import MetaDatabase
+
+
+def full_pipeline(schema):
+    store = MetaDatabase()
+    store.check_in(schema)
+    checked_out = store.check_out(schema.name)
+    report = analyze(checked_out)
+    assert report.is_mappable
+    result = map_schema(
+        checked_out,
+        MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    )
+    ddl = result.sql("sql2")
+    map_report = result.map_report()
+    return result, ddl, map_report
+
+
+def test_full_pipeline(benchmark, cris):
+    result, ddl, map_report = benchmark(full_pipeline, cris)
+    assert result.relational.relations
+    assert "CREATE TABLE" in ddl
+    assert "FORWARDS MAP" in map_report
+    emit(
+        "Figure 1 — full pipeline on the CRIS case",
+        [
+            f"conceptual: {cris.stats()}",
+            f"relational: {result.relational.stats()}",
+            f"DDL: {len(ddl.splitlines())} lines, "
+            f"map report: {len(map_report.splitlines())} lines",
+            f"applied transformations: {len(result.steps)}",
+        ],
+    )
+
+
+def test_transformation_engine(benchmark, fig6_schema):
+    """Figure 5 in isolation: rule base drives the transformation base."""
+
+    def run_engine():
+        state = MappingState(
+            schema=fig6_schema.copy(),
+            options=MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+            original=fig6_schema,
+        )
+        TransformationEngine().run(state)
+        return state
+
+    state = benchmark(run_engine)
+    assert not state.schema.sublinks
+    assert {f for f in state.flags if f.startswith("fired:")} == {
+        "fired:restrict-scope",
+        "fired:canonicalize",
+        "fired:sublink-options",
+    }

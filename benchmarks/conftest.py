@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (figure,
+listing or reported statistic) and asserts its *shape* — who wins, by
+what rough factor, what the generated output contains — while
+pytest-benchmark measures the runtime of the reproduced step.
+"""
+
+import pytest
+
+from repro.cris import cris_schema, figure6_population, figure6_schema
+
+
+@pytest.fixture(scope="session")
+def fig6_schema():
+    return figure6_schema()
+
+
+@pytest.fixture(scope="session")
+def fig6_population(fig6_schema):
+    return figure6_population(fig6_schema)
+
+
+@pytest.fixture(scope="session")
+def cris():
+    return cris_schema()
+
+
+def emit(title: str, rows: list[str]) -> None:
+    """Print one reproduced artifact block (visible with pytest -s)."""
+    print()
+    print(f"### {title}")
+    for row in rows:
+        print(f"    {row}")

@@ -1,0 +1,84 @@
+"""Industrial-scale engineering: 120-150 tables, as in the paper's §5.
+
+"It is being used at the time of this writing at a few industrial
+locations where it routinely generates databases of up to 120-150
+ORACLE tables (this is not a limit).  More interestingly perhaps, the
+generated (pseudo-)SQL constraints cause the output design to reach
+approx. 1 to 1.2 pages per table on the average."
+
+This example generates a seeded random schema at that scale, maps it,
+measures table count and pages-per-table of the generated ORACLE DDL,
+and compares the naive baseline on constraint conservation.
+
+Run with::
+
+    python examples/industrial_scale.py
+"""
+
+import time
+
+from repro import MappingOptions, analyze, map_schema, naive_map
+from repro.mapper.naive import dropped_constraints
+from repro.workloads import SchemaShape, generate_schema
+
+LINES_PER_PAGE = 54  # a 1989 line printer page
+
+
+def main():
+    shape = SchemaShape(entity_types=85)
+    schema = generate_schema(shape, seed=1989)
+    stats = schema.stats()
+    print(
+        f"conceptual schema: {stats['object_types']} object types, "
+        f"{stats['fact_types']} fact types, {stats['sublinks']} sublinks, "
+        f"{stats['constraints']} constraints"
+    )
+
+    started = time.perf_counter()
+    report = analyze(schema)
+    analysis_seconds = time.perf_counter() - started
+    print(
+        f"RIDL-A: {len(report.errors)} errors, {len(report.warnings)} "
+        f"warnings in {analysis_seconds:.2f}s"
+    )
+
+    started = time.perf_counter()
+    result = map_schema(schema, MappingOptions())
+    mapping_seconds = time.perf_counter() - started
+    table_count = len(result.relational.relations)
+    print(f"RIDL-M: {table_count} tables in {mapping_seconds:.2f}s")
+
+    ddl = result.sql("oracle")
+    lines = len(ddl.splitlines())
+    pages = lines / LINES_PER_PAGE
+    print(
+        f"ORACLE DDL: {lines} lines ~= {pages:.0f} pages "
+        f"({pages / table_count:.2f} pages per table; "
+        "the paper reports 1 to 1.2)"
+    )
+
+    constraint_stats = result.relational.stats()
+    print(
+        f"constraints conserved: {constraint_stats['constraints']} "
+        f"({constraint_stats['foreign_keys']} foreign keys, "
+        f"{constraint_stats['checks']} checks, "
+        f"{constraint_stats['view_constraints']} view constraints) "
+        f"+ {len(result.pseudo_constraints)} pseudo-SQL specifications"
+    )
+
+    naive = naive_map(schema)
+    lost = dropped_constraints(schema)
+    print(
+        f"naive baseline: {len(naive.relations)} tables, "
+        f"{len(naive.constraints)} constraints, "
+        f"{len(lost)} conceptual constraints silently dropped"
+    )
+
+    print()
+    print("transformation trace (first 10 steps):")
+    for line in result.trace_report().splitlines()[2:12]:
+        print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Quickstart: from a conceptual schema to SQL in a few lines.
+
+Builds a small library-catalogue schema in the Binary Relationship
+Model, runs the RIDL-A analyzer, maps it with RIDL-M, and prints the
+generated SQL2 DDL plus a slice of the map report.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import MappingOptions, SchemaBuilder, analyze, char, map_schema, numeric
+
+
+def build_schema():
+    """A library catalogue: books, authors, copies."""
+    b = SchemaBuilder("Library")
+    # Object types: non-lexical entities and the values naming them.
+    b.nolot("Book")
+    b.nolot("Copy")
+    b.lot("Isbn", char(13))
+    b.lot("Title", char(60))
+    b.lot("CopyNr", numeric(3))
+    b.lot_nolot("Author", char(40))
+    b.lot_nolot("Shelf", char(8))
+
+    # Naming conventions and facts.
+    b.identifier("Book", "Isbn")
+    b.attribute("Book", "Title", total=True)
+    b.fact(
+        "wrote",
+        ("Book", "written_by"),
+        ("Author", "author_of"),
+        unique="pair",  # many-to-many
+    )
+    b.subtype("Copy", "Book")  # not really — see below!
+    return b.build()
+
+
+def main():
+    schema = build_schema()
+
+    # 1. RIDL-A: analyze before mapping.
+    report = analyze(schema)
+    print(report.render())
+    print()
+
+    # The analyzer warns that Copy adds nothing as a subtype (it has
+    # no facts); give copies their own identity and shelf instead.
+    fixed = SchemaBuilder("Library")
+    fixed.nolot("Book").nolot("Copy")
+    fixed.lot("Isbn", char(13)).lot("Title", char(60))
+    fixed.lot("CopyNr", numeric(3))
+    fixed.lot_nolot("Author", char(40)).lot_nolot("Shelf", char(8))
+    fixed.identifier("Book", "Isbn")
+    fixed.attribute("Book", "Title", total=True)
+    fixed.fact(
+        "wrote", ("Book", "written_by"), ("Author", "author_of"), unique="pair"
+    )
+    fixed.identifier("Copy", "CopyNr")
+    fixed.fact(
+        "copy_of",
+        ("Copy", "duplicating"),
+        ("Book", "duplicated_by"),
+        unique="first",
+        total="first",
+    )
+    fixed.attribute("Copy", "Shelf", fact="shelved", total=True)
+    schema = fixed.build()
+    print(analyze(schema).render())
+    print()
+
+    # 2. RIDL-M: map with default options.
+    result = map_schema(schema, MappingOptions())
+    print("Generated relations:")
+    for relation in result.relational.relations:
+        rendered = ", ".join(
+            f"[{a.name}]" if a.nullable else a.name
+            for a in relation.attributes
+        )
+        print(f"  {relation.name}({rendered})")
+    print()
+
+    # 3. The SQL2 DDL.
+    print(result.sql("sql2"))
+
+    # 4. A slice of the forwards map.
+    print("\n".join(result.map_report().splitlines()[:20]))
+
+
+if __name__ == "__main__":
+    main()

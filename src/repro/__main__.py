@@ -1,0 +1,7 @@
+"""``python -m repro`` — the command-line workbench."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

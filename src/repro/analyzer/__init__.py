@@ -1,0 +1,27 @@
+"""RIDL-A — the analyzer module (section 3.2 of the paper).
+
+Four functions: (1) correctness of the schema against the rules of
+the BRM, (2) completeness, (3) consistency of the set-algebraic
+constraints over role and object-type populations, (4) detection of
+non-referable object types.
+"""
+
+from repro.analyzer.api import analyze, require_mappable
+from repro.analyzer.completeness import check_completeness
+from repro.analyzer.consistency import ConsistencyResult, check_consistency
+from repro.analyzer.correctness import check_correctness
+from repro.analyzer.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analyzer.referability import check_referability
+
+__all__ = [
+    "AnalysisReport",
+    "ConsistencyResult",
+    "Diagnostic",
+    "Severity",
+    "analyze",
+    "check_completeness",
+    "check_consistency",
+    "check_correctness",
+    "check_referability",
+    "require_mappable",
+]

@@ -1,0 +1,40 @@
+"""The RIDL-A entry point.
+
+``analyze(schema)`` runs the four analysis functions of section 3.2
+and returns an :class:`~repro.analyzer.diagnostics.AnalysisReport`.
+RIDL-M calls :func:`require_mappable` before mapping.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.completeness import check_completeness
+from repro.analyzer.consistency import check_consistency
+from repro.analyzer.correctness import check_correctness
+from repro.analyzer.diagnostics import AnalysisReport
+from repro.analyzer.referability import check_referability
+from repro.brm.schema import BinarySchema
+from repro.errors import AnalysisError
+
+
+def analyze(schema: BinarySchema) -> AnalysisReport:
+    """Run all four RIDL-A functions over a binary schema."""
+    return AnalysisReport(
+        schema_name=schema.name,
+        correctness=check_correctness(schema),
+        completeness=check_completeness(schema),
+        consistency=check_consistency(schema).diagnostics,
+        referability=check_referability(schema),
+    )
+
+
+def require_mappable(schema: BinarySchema) -> AnalysisReport:
+    """Analyze and raise when the schema has blocking errors."""
+    report = analyze(schema)
+    if not report.is_mappable:
+        details = "; ".join(str(d) for d in report.errors[:5])
+        if len(report.errors) > 5:
+            details += f" (+{len(report.errors) - 5} more)"
+        raise AnalysisError(
+            f"schema {schema.name!r} is not mappable: {details}"
+        )
+    return report

@@ -1,0 +1,112 @@
+"""RIDL-A function 2 — completeness of the binary schema.
+
+"It determines whether the binary schema contains all necessary
+concepts to be a complete description" (section 3.2).  Concretely:
+no dangling object types, every fact type elementary (carrying a
+uniqueness constraint), every subtype distinguishable, and no empty
+schema.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.diagnostics import Diagnostic, Severity
+from repro.brm.constraints import UniquenessConstraint
+from repro.brm.schema import BinarySchema
+
+
+def check_completeness(schema: BinarySchema) -> list[Diagnostic]:
+    """All completeness findings for the schema."""
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_not_empty(schema))
+    diagnostics.extend(_check_isolated_object_types(schema))
+    diagnostics.extend(_check_fact_uniqueness(schema))
+    diagnostics.extend(_check_subtype_distinguishability(schema))
+    return diagnostics
+
+
+def _check_not_empty(schema: BinarySchema) -> list[Diagnostic]:
+    if schema.object_types:
+        return []
+    return [
+        Diagnostic(
+            Severity.ERROR,
+            "EMPTY_SCHEMA",
+            schema.name,
+            "the schema defines no object types",
+        )
+    ]
+
+
+def _check_isolated_object_types(schema: BinarySchema) -> list[Diagnostic]:
+    """Every object type should play a role or take part in a sublink."""
+    diagnostics = []
+    for object_type in schema.object_types:
+        plays = bool(schema.roles_played_by(object_type.name))
+        linked = bool(
+            schema.sublinks_from(object_type.name)
+            or schema.sublinks_to(object_type.name)
+        )
+        if not plays and not linked:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "ISOLATED_OBJECT_TYPE",
+                    object_type.name,
+                    "plays no role and takes part in no sublink; it "
+                    "carries no information",
+                )
+            )
+    return diagnostics
+
+
+def _check_fact_uniqueness(schema: BinarySchema) -> list[Diagnostic]:
+    """Every fact type needs some uniqueness constraint.
+
+    Without one the fact type is a bag of unconstrained pairs — in
+    NIAM terms the analysis is incomplete (an elementary binary fact
+    type always has a uniqueness constraint over one role or over the
+    pair).
+    """
+    covered: set[str] = set()
+    for constraint in schema.constraints:
+        if isinstance(constraint, UniquenessConstraint):
+            for role_id in constraint.roles:
+                covered.add(role_id.fact)
+    diagnostics = []
+    for fact in schema.fact_types:
+        if fact.name not in covered:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "NO_UNIQUENESS",
+                    fact.name,
+                    "fact type has no uniqueness constraint; add one over "
+                    "a role (functional) or over the pair (many-to-many)",
+                )
+            )
+    return diagnostics
+
+
+def _check_subtype_distinguishability(schema: BinarySchema) -> list[Diagnostic]:
+    """A subtype should add something: facts of its own, further
+    subtypes, or membership constraints — otherwise it is dead weight."""
+    diagnostics = []
+    for sublink in schema.sublinks:
+        subtype = sublink.subtype
+        has_facts = bool(schema.roles_played_by(subtype))
+        has_subtypes = bool(schema.subtypes_of(subtype))
+        from repro.brm.sublinks import SublinkRef
+
+        constrained = bool(schema.constraints_over(SublinkRef(sublink.name)))
+        if not has_facts and not has_subtypes and not constrained:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "INDISTINCT_SUBTYPE",
+                    subtype,
+                    f"subtype (via sublink {sublink.name!r}) has no facts, "
+                    "subtypes or constraints of its own; membership is "
+                    "unobservable in the database",
+                )
+            )
+    return diagnostics

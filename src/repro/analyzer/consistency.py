@@ -1,0 +1,254 @@
+"""RIDL-A function 3 — consistency of the set-algebraic constraints.
+
+"It verifies the consistency of the set-algebraic constraints defined
+in the binary schema on the populations of roles and object types"
+(section 3.2).
+
+The notion checked is *strong satisfiability*: every object type must
+admit a non-empty population in some model of the schema.  The solver
+works on the population-inclusion preorder induced by the schema:
+
+* a role's population is included in its player's population;
+* a subtype's population is included in its supertype's;
+* a sublink's population equals its subtype's;
+* subset constraints give inclusions, equality constraints give
+  inclusions both ways;
+* a total role on T (single-item total union) makes pop(T) a subset
+  of the role's population.
+
+An exclusion constraint empties every *common lower bound* of two of
+its items — any population included in two disjoint populations must
+be empty.  Forced emptiness then propagates downward through the
+inclusion preorder, across a fact type (one empty role empties the
+other), and through total unions (a type whose covering items are all
+empty is empty).  A forced-empty object type is an inconsistency; a
+forced-empty role is reported as a warning (the constraint can never
+be exercised).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.analyzer.diagnostics import Diagnostic, Severity
+from repro.brm.constraints import (
+    ConstraintItem,
+    EqualityConstraint,
+    SubsetConstraint,
+    TotalUnionConstraint,
+)
+from repro.brm.facts import RoleId
+from repro.brm.schema import BinarySchema
+
+# Node encodings: ("role", fact, role), ("type", name), ("sublink", name)
+Node = tuple
+
+
+def _role_node(role_id: RoleId) -> Node:
+    return ("role", role_id.fact, role_id.role)
+
+
+def _type_node(name: str) -> Node:
+    return ("type", name)
+
+
+def _sublink_node(name: str) -> Node:
+    return ("sublink", name)
+
+
+def _item_node(item: ConstraintItem) -> Node:
+    if isinstance(item, RoleId):
+        return _role_node(item)
+    return _sublink_node(item.sublink)
+
+
+def _render_node(node: Node) -> str:
+    if node[0] == "role":
+        return f"role {node[1]}.{node[2]}"
+    if node[0] == "sublink":
+        return f"sublink {node[1]}"
+    return f"object type {node[1]}"
+
+
+@dataclass
+class ConsistencyResult:
+    """Everything the solver derived."""
+
+    forced_empty: dict[Node, str]  # node -> human-readable reason
+    diagnostics: list[Diagnostic]
+
+    @property
+    def is_consistent(self) -> bool:
+        """True when no object type is forced empty."""
+        return not any(node[0] == "type" for node in self.forced_empty)
+
+
+class _InclusionGraph:
+    """The population-inclusion preorder and emptiness implications."""
+
+    def __init__(self, schema: BinarySchema) -> None:
+        self.schema = schema
+        # subset[x] = set of y with pop(x) <= pop(y)
+        self.subset: dict[Node, set[Node]] = {}
+        # empties[y] = set of x with: empty(y) implies empty(x)
+        self.empties: dict[Node, set[Node]] = {}
+        self._build()
+
+    def _add_subset(self, sub: Node, sup: Node) -> None:
+        self.subset.setdefault(sub, set()).add(sup)
+        # Inclusion implies downward emptiness propagation.
+        self.empties.setdefault(sup, set()).add(sub)
+
+    def _add_empty_implication(self, cause: Node, effect: Node) -> None:
+        self.empties.setdefault(cause, set()).add(effect)
+
+    def _build(self) -> None:
+        schema = self.schema
+        for fact in schema.fact_types:
+            first, second = fact.role_ids
+            self._add_subset(_role_node(first), _type_node(fact.first.player))
+            self._add_subset(_role_node(second), _type_node(fact.second.player))
+            # A fact instance populates both roles: one empty role
+            # empties the whole fact type, hence the other role.
+            self._add_empty_implication(_role_node(first), _role_node(second))
+            self._add_empty_implication(_role_node(second), _role_node(first))
+        for sublink in schema.sublinks:
+            sub_type = _type_node(sublink.subtype)
+            super_type = _type_node(sublink.supertype)
+            link = _sublink_node(sublink.name)
+            self._add_subset(sub_type, super_type)
+            self._add_subset(link, sub_type)
+            self._add_subset(sub_type, link)
+        for constraint in schema.constraints:
+            if isinstance(constraint, SubsetConstraint):
+                self._add_subset(
+                    _item_node(constraint.subset), _item_node(constraint.superset)
+                )
+            elif isinstance(constraint, EqualityConstraint):
+                nodes = [_item_node(item) for item in constraint.items]
+                for left, right in itertools.combinations(nodes, 2):
+                    self._add_subset(left, right)
+                    self._add_subset(right, left)
+            elif isinstance(constraint, TotalUnionConstraint):
+                if len(constraint.items) == 1:
+                    self._add_subset(
+                        _type_node(constraint.object_type),
+                        _item_node(constraint.items[0]),
+                    )
+
+    def reaches(self, start: Node, goal: Node) -> bool:
+        """True when pop(start) <= pop(goal) follows from the schema."""
+        if start == goal:
+            return True
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for successor in self.subset.get(node, ()):
+                if successor == goal:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+    def lower_bounds(self, node: Node) -> set[Node]:
+        """All nodes whose population is included in ``node``'s."""
+        bounds = {node}
+        frontier = [node]
+        reverse: dict[Node, set[Node]] = {}
+        for sub, sups in self.subset.items():
+            for sup in sups:
+                reverse.setdefault(sup, set()).add(sub)
+        while frontier:
+            current = frontier.pop()
+            for predecessor in reverse.get(current, ()):
+                if predecessor not in bounds:
+                    bounds.add(predecessor)
+                    frontier.append(predecessor)
+        return bounds
+
+
+def check_consistency(schema: BinarySchema) -> ConsistencyResult:
+    """Run the emptiness-propagation solver over the schema."""
+    graph = _InclusionGraph(schema)
+    forced_empty: dict[Node, str] = {}
+    worklist: list[Node] = []
+
+    def mark(node: Node, reason: str) -> None:
+        if node not in forced_empty:
+            forced_empty[node] = reason
+            worklist.append(node)
+
+    # Seed: exclusion constraints empty every common lower bound of
+    # any two of their items.
+    for constraint in schema.exclusions():
+        nodes = [_item_node(item) for item in constraint.items]
+        for left, right in itertools.combinations(nodes, 2):
+            common = graph.lower_bounds(left) & graph.lower_bounds(right)
+            for node in common:
+                mark(
+                    node,
+                    f"included in both sides of exclusion {constraint.name!r} "
+                    f"({_render_node(left)} vs {_render_node(right)})",
+                )
+
+    # Propagate to a fixed point.
+    totals = [c for c in schema.totals() if len(c.items) > 1]
+    while True:
+        while worklist:
+            node = worklist.pop()
+            for affected in graph.empties.get(node, ()):
+                mark(
+                    affected,
+                    f"population is forced empty because {_render_node(node)} "
+                    "is empty",
+                )
+        # Hyper-rule: a total union whose items are all empty empties
+        # the constrained object type.
+        progressed = False
+        for constraint in totals:
+            type_node = _type_node(constraint.object_type)
+            if type_node in forced_empty:
+                continue
+            if all(_item_node(item) in forced_empty for item in constraint.items):
+                mark(
+                    type_node,
+                    f"total union {constraint.name!r} covers only empty "
+                    "roles/subtypes",
+                )
+                progressed = True
+        if not worklist and not progressed:
+            break
+
+    diagnostics = []
+    for node, reason in sorted(forced_empty.items(), key=lambda kv: repr(kv[0])):
+        if node[0] == "type":
+            diagnostics.append(
+                Diagnostic(
+                    Severity.ERROR,
+                    "FORCED_EMPTY_TYPE",
+                    node[1],
+                    f"no non-empty population possible: {reason}",
+                )
+            )
+        elif node[0] == "role":
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "FORCED_EMPTY_ROLE",
+                    f"{node[1]}.{node[2]}",
+                    f"role can never be played: {reason}",
+                )
+            )
+        else:
+            diagnostics.append(
+                Diagnostic(
+                    Severity.WARNING,
+                    "FORCED_EMPTY_SUBLINK",
+                    node[1],
+                    f"subtype can never have members: {reason}",
+                )
+            )
+    return ConsistencyResult(forced_empty=forced_empty, diagnostics=diagnostics)

@@ -1,0 +1,267 @@
+"""The BRM constraint taxonomy.
+
+"Constraints are named n-place predicates with variables ranging over
+the chosen object types ...  Certain constraint types occur so
+frequently and are so fundamental that they have a graphical
+representation as well" (section 2).  The paper's example schemas use:
+
+* the **identifier** constraint — a simple functional dependency,
+  drawn as a line over the key role (here
+  :class:`UniquenessConstraint` over one role);
+* the **total role** constraint — a "V" sign: every instance of an
+  object type participates in a given role;
+* the **total union** constraint — its generalization over several
+  roles and/or subtypes;
+* the **exclusion** constraint — mutual exclusion of subtypes (or
+  roles).
+
+We additionally implement the set-algebraic constraints the mapper
+needs to emit lossless rules and that RIDL-A checks for consistency:
+subset and equality constraints on role/subtype populations, plus
+uniqueness over several roles (external identifiers / compound naming
+conventions), occurrence frequency constraints, and value constraints
+on lexical types.
+
+All constraints are immutable value objects; set-algebraic items are
+either a :class:`~repro.brm.facts.RoleId` or a
+:class:`~repro.brm.sublinks.SublinkRef`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.brm.facts import RoleId
+from repro.brm.sublinks import SublinkRef
+from repro.errors import ConstraintError
+
+ConstraintItem = Union[RoleId, SublinkRef]
+
+
+def _check_constraint_name(name: str) -> None:
+    if not name:
+        raise ConstraintError("constraint names must be non-empty")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """Base class for all BRM constraints."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        _check_constraint_name(self.name)
+
+    @property
+    def kind(self) -> str:
+        """Short lowercase tag used in diagnostics and map reports."""
+        return type(self).__name__.removesuffix("Constraint").lower()
+
+
+@dataclass(frozen=True)
+class UniquenessConstraint(Constraint):
+    """Uniqueness over one or more roles.
+
+    * One role of a fact type: the classical NIAM identifier bar — a
+      simple functional dependency from the role's player to the
+      co-role's player (each instance plays the role at most once).
+    * Both roles of one fact type: the fact is identified by the pair
+      (a many-to-many fact type).
+    * Roles of several fact types that share a common player: an
+      *external* (compound) identifier; the combination of co-role
+      fillers identifies the common instance.
+
+    ``is_reference`` marks the constraint as (part of) the preferred
+    naming convention of the identified NOLOT; RIDL-M's lexical
+    mapping option may override the default "smallest" choice.
+    """
+
+    roles: tuple[RoleId, ...] = field(default=())
+    is_reference: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.roles:
+            raise ConstraintError(
+                f"uniqueness constraint {self.name!r} needs at least one role"
+            )
+        if len(set(self.roles)) != len(self.roles):
+            raise ConstraintError(
+                f"uniqueness constraint {self.name!r} lists a role twice"
+            )
+
+    @property
+    def is_simple(self) -> bool:
+        """True for the single-role (simple FD) form."""
+        return len(self.roles) == 1
+
+    @property
+    def is_external(self) -> bool:
+        """True when the roles span more than one fact type."""
+        return len({role.fact for role in self.roles}) > 1
+
+
+@dataclass(frozen=True)
+class TotalUnionConstraint(Constraint):
+    """Total role / total union: every instance of ``object_type``
+    participates in at least one of ``items`` (roles or subtypes).
+
+    With a single role item this is the plain total role constraint
+    (the "V" sign of the NIAM notation).
+    """
+
+    object_type: str = ""
+    items: tuple[ConstraintItem, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.object_type:
+            raise ConstraintError(
+                f"total constraint {self.name!r} must name its object type"
+            )
+        if not self.items:
+            raise ConstraintError(
+                f"total constraint {self.name!r} needs at least one item"
+            )
+
+    @property
+    def is_total_role(self) -> bool:
+        """True for the single-role special case."""
+        return len(self.items) == 1 and isinstance(self.items[0], RoleId)
+
+
+@dataclass(frozen=True)
+class ExclusionConstraint(Constraint):
+    """The populations of ``items`` (roles or subtypes) are pairwise
+    disjoint — e.g. mutually exclusive subtypes of a NOLOT."""
+
+    items: tuple[ConstraintItem, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.items) < 2:
+            raise ConstraintError(
+                f"exclusion constraint {self.name!r} needs at least two items"
+            )
+        if len(set(self.items)) != len(self.items):
+            raise ConstraintError(
+                f"exclusion constraint {self.name!r} lists an item twice"
+            )
+
+
+@dataclass(frozen=True)
+class SubsetConstraint(Constraint):
+    """The population of ``subset`` is contained in that of ``superset``."""
+
+    subset: ConstraintItem = field(default=None)  # type: ignore[assignment]
+    superset: ConstraintItem = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.subset is None or self.superset is None:
+            raise ConstraintError(
+                f"subset constraint {self.name!r} needs both ends"
+            )
+        if self.subset == self.superset:
+            raise ConstraintError(
+                f"subset constraint {self.name!r} relates an item to itself"
+            )
+
+
+@dataclass(frozen=True)
+class EqualityConstraint(Constraint):
+    """The populations of all ``items`` are equal (role equality).
+
+    RIDL-M uses role equality to decide which optional roles can be
+    grouped into one relation without introducing partial nulls, and
+    emits *equal existence* lossless rules (``C_EE$`` in the paper)
+    when grouping forces it.
+    """
+
+    items: tuple[ConstraintItem, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.items) < 2:
+            raise ConstraintError(
+                f"equality constraint {self.name!r} needs at least two items"
+            )
+        if len(set(self.items)) != len(self.items):
+            raise ConstraintError(
+                f"equality constraint {self.name!r} lists an item twice"
+            )
+
+
+@dataclass(frozen=True)
+class FrequencyConstraint(Constraint):
+    """Each participating instance plays ``role`` between ``minimum``
+    and ``maximum`` times (``maximum`` may be ``None`` for unbounded)."""
+
+    role: RoleId = field(default=None)  # type: ignore[assignment]
+    minimum: int = 1
+    maximum: int | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.role is None:
+            raise ConstraintError(
+                f"frequency constraint {self.name!r} must name a role"
+            )
+        if self.minimum < 0:
+            raise ConstraintError(
+                f"frequency constraint {self.name!r}: minimum must be >= 0"
+            )
+        if self.maximum is not None and self.maximum < max(self.minimum, 1):
+            raise ConstraintError(
+                f"frequency constraint {self.name!r}: maximum must be >= "
+                "minimum and >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class ValueConstraint(Constraint):
+    """The instances of a lexical object type are drawn from an
+    enumerated set of values (e.g. an indicator LOT with values
+    ``('Y', 'N')``)."""
+
+    object_type: str = ""
+    values: tuple[object, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.object_type:
+            raise ConstraintError(
+                f"value constraint {self.name!r} must name its object type"
+            )
+        if not self.values:
+            raise ConstraintError(
+                f"value constraint {self.name!r} needs at least one value"
+            )
+
+
+SET_ALGEBRAIC_KINDS = (
+    TotalUnionConstraint,
+    ExclusionConstraint,
+    SubsetConstraint,
+    EqualityConstraint,
+)
+
+
+def items_of(constraint: Constraint) -> tuple[ConstraintItem, ...]:
+    """All role/sublink items a constraint ranges over.
+
+    Used by schema validation, the consistency solver and the
+    transformation engine's constraint-rewriting machinery.
+    """
+    if isinstance(constraint, UniquenessConstraint):
+        return constraint.roles
+    if isinstance(constraint, TotalUnionConstraint):
+        return constraint.items
+    if isinstance(constraint, (ExclusionConstraint, EqualityConstraint)):
+        return constraint.items
+    if isinstance(constraint, SubsetConstraint):
+        return (constraint.subset, constraint.superset)
+    if isinstance(constraint, FrequencyConstraint):
+        return (constraint.role,)
+    return ()

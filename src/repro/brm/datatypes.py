@@ -1,0 +1,127 @@
+"""Lexical data types for LOTs.
+
+The Binary Relationship Model distinguishes *lexical* object types
+(LOTs), whose instances are strings or numbers in the universe of
+discourse, from non-lexical ones.  Every LOT carries a data type that
+eventually becomes the SQL data type of the columns derived from it
+(``-- DATA TYPE CHAR(2)`` in the paper's generated SQL2 fragment).
+
+The ``physical_size`` of a data type is used by RIDL-M's lexical
+mapping option: by default the mapper selects for each NOLOT the
+"smallest" lexical representation type, i.e. the one involving the
+fewest object types and the smallest physical representation *"as
+derived from the data types of the LOTs involved"* (section 4.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DataTypeKind(Enum):
+    """The family a LOT data type belongs to."""
+
+    CHAR = "CHAR"
+    VARCHAR = "VARCHAR"
+    NUMERIC = "NUMERIC"
+    INTEGER = "INTEGER"
+    SMALLINT = "SMALLINT"
+    REAL = "REAL"
+    DATE = "DATE"
+    BOOLEAN = "BOOLEAN"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A lexical data type such as ``CHAR(30)`` or ``NUMERIC(3)``.
+
+    ``length`` is the character length for CHAR/VARCHAR and the
+    precision for NUMERIC; ``scale`` is the NUMERIC scale.  Both are
+    ``None`` where not applicable.
+    """
+
+    kind: DataTypeKind
+    length: int | None = None
+    scale: int | None = None
+
+    def __post_init__(self) -> None:
+        parameterized = {
+            DataTypeKind.CHAR,
+            DataTypeKind.VARCHAR,
+            DataTypeKind.NUMERIC,
+        }
+        if self.kind in parameterized:
+            if self.length is None or self.length <= 0:
+                raise ValueError(f"{self.kind.value} requires a positive length")
+        elif self.length is not None:
+            raise ValueError(f"{self.kind.value} does not take a length")
+        if self.scale is not None and self.kind is not DataTypeKind.NUMERIC:
+            raise ValueError(f"{self.kind.value} does not take a scale")
+
+    @property
+    def physical_size(self) -> int:
+        """Approximate storage size in bytes, used to rank representations."""
+        if self.kind in (DataTypeKind.CHAR, DataTypeKind.VARCHAR):
+            return self.length or 0
+        if self.kind is DataTypeKind.NUMERIC:
+            # Packed decimal: roughly one byte per two digits.
+            return (self.length or 0) // 2 + 1
+        return {
+            DataTypeKind.INTEGER: 4,
+            DataTypeKind.SMALLINT: 2,
+            DataTypeKind.REAL: 8,
+            DataTypeKind.DATE: 8,
+            DataTypeKind.BOOLEAN: 1,
+        }[self.kind]
+
+    def render(self) -> str:
+        """The SQL spelling of the type, e.g. ``CHAR(30)`` or ``NUMERIC(7,2)``."""
+        if self.kind is DataTypeKind.NUMERIC and self.scale is not None:
+            return f"NUMERIC({self.length},{self.scale})"
+        if self.length is not None:
+            return f"{self.kind.value}({self.length})"
+        return self.kind.value
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def char(length: int) -> DataType:
+    """``CHAR(length)``."""
+    return DataType(DataTypeKind.CHAR, length)
+
+
+def varchar(length: int) -> DataType:
+    """``VARCHAR(length)``."""
+    return DataType(DataTypeKind.VARCHAR, length)
+
+
+def numeric(precision: int, scale: int | None = None) -> DataType:
+    """``NUMERIC(precision[,scale])``."""
+    return DataType(DataTypeKind.NUMERIC, precision, scale)
+
+
+def integer() -> DataType:
+    """``INTEGER``."""
+    return DataType(DataTypeKind.INTEGER)
+
+
+def smallint() -> DataType:
+    """``SMALLINT``."""
+    return DataType(DataTypeKind.SMALLINT)
+
+
+def real() -> DataType:
+    """``REAL``."""
+    return DataType(DataTypeKind.REAL)
+
+
+def date() -> DataType:
+    """``DATE``."""
+    return DataType(DataTypeKind.DATE)
+
+
+def boolean() -> DataType:
+    """``BOOLEAN`` (used for indicator attributes)."""
+    return DataType(DataTypeKind.BOOLEAN)

@@ -1,0 +1,123 @@
+"""Fact types and roles.
+
+"All information is stored as link, called *fact* instance involving
+two object types — hence the name binary" (section 2).  A fact type
+has exactly two roles (the "boxes" of the NIAM notation); each role is
+played by one object type, and the two object types may coincide
+(a *ring* fact type such as ``Person supervises Person``).
+
+Roles are addressed throughout the library with :class:`RoleId`, a
+value object naming the fact type and the role within it.  Constraint
+definitions, analyzer diagnostics, mapper provenance and map reports
+all speak in ``RoleId``s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+FIRST = 0
+SECOND = 1
+
+
+@dataclass(frozen=True)
+class Role:
+    """One of the two roles of a fact type.
+
+    ``name`` is the role label of the NIAM diagram (``presented_by``,
+    ``of_submission``, ...), unique within its fact type.  ``player``
+    is the name of the object type playing the role.
+    """
+
+    name: str
+    player: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("role names must be non-empty")
+        if not self.player:
+            raise ValueError(f"role {self.name!r} must name its player")
+
+
+@dataclass(frozen=True)
+class RoleId:
+    """Stable address of a role: fact-type name plus role name."""
+
+    fact: str
+    role: str
+
+    def __str__(self) -> str:
+        return f"{self.fact}.{self.role}"
+
+
+@dataclass(frozen=True)
+class FactType:
+    """A binary fact type with its two roles.
+
+    The role order is significant only as an address (first/second);
+    the model itself is symmetric.
+    """
+
+    name: str
+    first: Role
+    second: Role
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("fact type names must be non-empty")
+        if self.first.name == self.second.name:
+            raise ValueError(
+                f"fact type {self.name!r}: the two roles must have "
+                f"distinct names (both are {self.first.name!r})"
+            )
+
+    @property
+    def roles(self) -> tuple[Role, Role]:
+        """Both roles, in first/second order."""
+        return (self.first, self.second)
+
+    @property
+    def role_ids(self) -> tuple[RoleId, RoleId]:
+        """The addresses of both roles."""
+        return (RoleId(self.name, self.first.name), RoleId(self.name, self.second.name))
+
+    @property
+    def players(self) -> tuple[str, str]:
+        """The object-type names playing the first and second role."""
+        return (self.first.player, self.second.player)
+
+    @property
+    def is_ring(self) -> bool:
+        """True when both roles are played by the same object type."""
+        return self.first.player == self.second.player
+
+    def role(self, role_name: str) -> Role:
+        """Return the role with the given name.
+
+        Raises ``KeyError`` when the fact type has no such role.
+        """
+        if self.first.name == role_name:
+            return self.first
+        if self.second.name == role_name:
+            return self.second
+        raise KeyError(f"fact type {self.name!r} has no role {role_name!r}")
+
+    def position_of(self, role_name: str) -> int:
+        """Return ``FIRST`` or ``SECOND`` for the named role."""
+        if self.first.name == role_name:
+            return FIRST
+        if self.second.name == role_name:
+            return SECOND
+        raise KeyError(f"fact type {self.name!r} has no role {role_name!r}")
+
+    def co_role(self, role_name: str) -> Role:
+        """Return the *other* role of the fact type."""
+        if self.first.name == role_name:
+            return self.second
+        if self.second.name == role_name:
+            return self.first
+        raise KeyError(f"fact type {self.name!r} has no role {role_name!r}")
+
+    def player_of(self, role_name: str) -> str:
+        """The object type playing the named role."""
+        return self.role(role_name).player

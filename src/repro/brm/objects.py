@@ -1,0 +1,93 @@
+"""Object types of the Binary Relationship Model.
+
+Section 2 of the paper distinguishes three graphical species:
+
+* a **LOT** (Lexical Object Type) — a circle around a dotted circle;
+  its instances are strings or numbers in the universe of discourse;
+* a **NOLOT** (NOn-Lexical Object Type) — a plain circle; its
+  instances are abstract entities that must eventually be given a
+  lexical representation before they can live in a relational
+  database;
+* a **LOT-NOLOT** — a hybrid used "for notational convenience" when
+  one does not care to represent explicitly the distinction between
+  the non-lexical entities and their lexical representation (Person,
+  Session and Date in figure 6 are LOT-NOLOTs).
+
+All object types are value objects identified by name within a
+schema; schema elements refer to each other *by name* so that schema
+transformations can copy and rewrite schemas freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.brm.datatypes import DataType
+
+_NAME_MESSAGE = "object type names must be non-empty identifiers"
+
+
+class ObjectKind(Enum):
+    """The species of an object type."""
+
+    LOT = "LOT"
+    NOLOT = "NOLOT"
+    LOT_NOLOT = "LOT-NOLOT"
+
+
+def _check_name(name: str) -> None:
+    if not name or not all(part.isidentifier() for part in name.split("-")):
+        raise ValueError(f"{_NAME_MESSAGE}: {name!r}")
+
+
+@dataclass(frozen=True)
+class ObjectType:
+    """Base class for the three object-type species.
+
+    ``datatype`` is the lexical data type; it is required for LOTs and
+    LOT-NOLOTs (which have a lexical face) and absent for NOLOTs.
+    """
+
+    name: str
+    kind: ObjectKind
+    datatype: DataType | None = None
+
+    def __post_init__(self) -> None:
+        _check_name(self.name)
+        if self.kind is ObjectKind.NOLOT:
+            if self.datatype is not None:
+                raise ValueError(f"NOLOT {self.name!r} cannot carry a data type")
+        elif self.datatype is None:
+            raise ValueError(
+                f"{self.kind.value} {self.name!r} requires a lexical data type"
+            )
+
+    @property
+    def is_lexical(self) -> bool:
+        """True when instances of this type are directly storable values.
+
+        LOTs are lexical; LOT-NOLOTs behave lexically for mapping
+        purposes (they are their own naming convention); NOLOTs are not.
+        """
+        return self.kind is not ObjectKind.NOLOT
+
+    @property
+    def is_nolot(self) -> bool:
+        """True for pure NOLOTs (the types that need a reference scheme)."""
+        return self.kind is ObjectKind.NOLOT
+
+
+def lot(name: str, datatype: DataType) -> ObjectType:
+    """Create a Lexical Object Type."""
+    return ObjectType(name, ObjectKind.LOT, datatype)
+
+
+def nolot(name: str) -> ObjectType:
+    """Create a NOn-Lexical Object Type."""
+    return ObjectType(name, ObjectKind.NOLOT)
+
+
+def lot_nolot(name: str, datatype: DataType) -> ObjectType:
+    """Create a hybrid LOT-NOLOT object type."""
+    return ObjectType(name, ObjectKind.LOT_NOLOT, datatype)

@@ -1,0 +1,439 @@
+"""Populations — the database *states* of a binary schema.
+
+Section 4.1 of the paper adopts a model-theoretic view: a database
+schema is a logical theory and ``STATES(S)`` is the set of its models.
+A :class:`Population` is one such model: an assignment of instance
+sets to object types and of pair sets to fact types.  Subtype
+membership is extensional — the population of a subtype is a subset of
+its supertype's population.
+
+Populations are what schema transformations map forward and backward
+(:mod:`repro.mapper.state_map`); checking that a population is a model
+of its schema (:meth:`Population.check`) is how the test suite
+verifies losslessness empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.brm.constraints import (
+    Constraint,
+    ConstraintItem,
+    EqualityConstraint,
+    ExclusionConstraint,
+    FrequencyConstraint,
+    SubsetConstraint,
+    TotalUnionConstraint,
+    UniquenessConstraint,
+    ValueConstraint,
+)
+from repro.brm.facts import RoleId
+from repro.brm.schema import BinarySchema
+from repro.errors import PopulationError
+
+Instance = Hashable
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One way in which a population fails to be a model of its schema."""
+
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] {self.message}"
+
+
+class Population:
+    """A database state for a :class:`BinarySchema`."""
+
+    def __init__(self, schema: BinarySchema) -> None:
+        self.schema = schema
+        self._objects: dict[str, set[Instance]] = {
+            t.name: set() for t in schema.object_types
+        }
+        self._facts: dict[str, set[tuple[Instance, Instance]]] = {
+            f.name: set() for f in schema.fact_types
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_instance(self, type_name: str, instance: Instance) -> Instance:
+        """Add an instance to an object type and all its supertypes.
+
+        Supertype propagation keeps the population conformant with the
+        extensional subtype semantics by construction.
+        """
+        if type_name not in self._objects:
+            raise PopulationError(f"no object type {type_name!r} in the schema")
+        self._objects[type_name].add(instance)
+        for ancestor in self.schema.ancestors_of(type_name):
+            self._objects[ancestor].add(instance)
+        return instance
+
+    def add_instances(self, type_name: str, instances: Iterable[Instance]) -> None:
+        """Add several instances to an object type."""
+        for instance in instances:
+            self.add_instance(type_name, instance)
+
+    def add_fact(
+        self, fact_name: str, first: Instance, second: Instance
+    ) -> tuple[Instance, Instance]:
+        """Add a fact instance; both fillers are auto-added to the players.
+
+        Auto-adding mirrors how NIAM diagrams are populated: placing a
+        pair in a fact's population asserts the existence of both
+        objects.
+        """
+        if fact_name not in self._facts:
+            raise PopulationError(f"no fact type {fact_name!r} in the schema")
+        fact = self.schema.fact_type(fact_name)
+        self.add_instance(fact.first.player, first)
+        self.add_instance(fact.second.player, second)
+        self._facts[fact_name].add((first, second))
+        return (first, second)
+
+    def remove_fact(self, fact_name: str, first: Instance, second: Instance) -> None:
+        """Remove one fact instance (object populations are untouched)."""
+        try:
+            self._facts[fact_name].remove((first, second))
+        except KeyError:
+            raise PopulationError(
+                f"fact {fact_name!r} has no instance ({first!r}, {second!r})"
+            ) from None
+
+    def discard_instance(self, type_name: str, instance: Instance) -> None:
+        """Remove an instance from a type and all its subtypes.
+
+        The instance stays in supertypes (use the root type to remove
+        it entirely); facts referencing it are untouched — conformance
+        checking will flag them, so callers should retract facts first.
+        """
+        if type_name not in self._objects:
+            raise PopulationError(f"no object type {type_name!r} in the schema")
+        if instance not in self._objects[type_name]:
+            raise PopulationError(
+                f"{instance!r} is not an instance of {type_name!r}"
+            )
+        self._objects[type_name].discard(instance)
+        for descendant in self.schema.descendants_of(type_name):
+            self._objects[descendant].discard(instance)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def instances(self, type_name: str) -> frozenset[Instance]:
+        """The population of an object type."""
+        if type_name not in self._objects:
+            raise PopulationError(f"no object type {type_name!r} in the schema")
+        return frozenset(self._objects[type_name])
+
+    def fact_instances(self, fact_name: str) -> frozenset[tuple[Instance, Instance]]:
+        """The population of a fact type: a set of (first, second) pairs."""
+        if fact_name not in self._facts:
+            raise PopulationError(f"no fact type {fact_name!r} in the schema")
+        return frozenset(self._facts[fact_name])
+
+    def role_population(self, role_id: RoleId) -> frozenset[Instance]:
+        """The set of instances actually playing a role."""
+        fact = self.schema.fact_type(role_id.fact)
+        position = fact.position_of(role_id.role)
+        return frozenset(pair[position] for pair in self._facts[fact.name])
+
+    def role_occurrences(self, role_id: RoleId) -> dict[Instance, int]:
+        """How many times each instance plays the role."""
+        fact = self.schema.fact_type(role_id.fact)
+        position = fact.position_of(role_id.role)
+        counts: dict[Instance, int] = {}
+        for pair in self._facts[fact.name]:
+            counts[pair[position]] = counts.get(pair[position], 0) + 1
+        return counts
+
+    def item_population(self, item: ConstraintItem) -> frozenset[Instance]:
+        """The population a set-algebraic constraint item ranges over."""
+        if isinstance(item, RoleId):
+            return self.role_population(item)
+        sublink = self.schema.sublink(item.sublink)
+        return self.instances(sublink.subtype)
+
+    def facts_of(
+        self, fact_name: str, role_name: str, instance: Instance
+    ) -> frozenset[Instance]:
+        """Co-role fillers linked to ``instance`` through the fact type."""
+        fact = self.schema.fact_type(fact_name)
+        position = fact.position_of(role_name)
+        other = 1 - position
+        return frozenset(
+            pair[other]
+            for pair in self._facts[fact_name]
+            if pair[position] == instance
+        )
+
+    def is_empty(self) -> bool:
+        """True when no object type has any instance."""
+        return not any(self._objects.values())
+
+    # ------------------------------------------------------------------
+    # Model checking
+    # ------------------------------------------------------------------
+
+    def check(self) -> list[Violation]:
+        """All ways this population fails to be a model of its schema."""
+        violations: list[Violation] = []
+        violations.extend(self._check_conformance())
+        for constraint in self.schema.constraints:
+            violations.extend(self._check_constraint(constraint))
+        return violations
+
+    def is_valid(self) -> bool:
+        """True when the population is a model of its schema."""
+        return not self.check()
+
+    def validate(self) -> None:
+        """Raise :class:`PopulationError` listing every violation."""
+        violations = self.check()
+        if violations:
+            summary = "; ".join(str(v) for v in violations[:10])
+            if len(violations) > 10:
+                summary += f"; ... ({len(violations) - 10} more)"
+            raise PopulationError(summary)
+
+    def _check_conformance(self) -> list[Violation]:
+        violations = []
+        for fact in self.schema.fact_types:
+            for first, second in self._facts[fact.name]:
+                if first not in self._objects[fact.first.player]:
+                    violations.append(
+                        Violation(
+                            "conformance",
+                            f"fact {fact.name!r}: filler {first!r} is not an "
+                            f"instance of {fact.first.player!r}",
+                        )
+                    )
+                if second not in self._objects[fact.second.player]:
+                    violations.append(
+                        Violation(
+                            "conformance",
+                            f"fact {fact.name!r}: filler {second!r} is not an "
+                            f"instance of {fact.second.player!r}",
+                        )
+                    )
+        for sublink in self.schema.sublinks:
+            stray = self._objects[sublink.subtype] - self._objects[sublink.supertype]
+            for instance in stray:
+                violations.append(
+                    Violation(
+                        "conformance",
+                        f"sublink {sublink.name!r}: {instance!r} is in subtype "
+                        f"{sublink.subtype!r} but not in supertype "
+                        f"{sublink.supertype!r}",
+                    )
+                )
+        return violations
+
+    def _check_constraint(self, constraint: Constraint) -> list[Violation]:
+        if isinstance(constraint, UniquenessConstraint):
+            return self._check_uniqueness(constraint)
+        if isinstance(constraint, TotalUnionConstraint):
+            return self._check_total(constraint)
+        if isinstance(constraint, ExclusionConstraint):
+            return self._check_exclusion(constraint)
+        if isinstance(constraint, SubsetConstraint):
+            return self._check_subset(constraint)
+        if isinstance(constraint, EqualityConstraint):
+            return self._check_equality(constraint)
+        if isinstance(constraint, FrequencyConstraint):
+            return self._check_frequency(constraint)
+        if isinstance(constraint, ValueConstraint):
+            return self._check_value(constraint)
+        return []
+
+    def _check_uniqueness(self, constraint: UniquenessConstraint) -> list[Violation]:
+        if constraint.is_simple:
+            role_id = constraint.roles[0]
+            duplicates = [
+                instance
+                for instance, count in self.role_occurrences(role_id).items()
+                if count > 1
+            ]
+            return [
+                Violation(
+                    constraint.name,
+                    f"instance {instance!r} plays role {role_id} more than once",
+                )
+                for instance in duplicates
+            ]
+        if not constraint.is_external:
+            # Uniqueness spanning both roles of one fact type: fact
+            # populations are sets of pairs, so this is satisfied by
+            # construction.
+            return []
+        return self._check_external_uniqueness(constraint)
+
+    def _check_external_uniqueness(
+        self, constraint: UniquenessConstraint
+    ) -> list[Violation]:
+        """External uniqueness: the combination of far-role fillers
+        identifies at most one instance of the common (co-role) player."""
+        value_maps: list[dict[Instance, frozenset[Instance]]] = []
+        for role_id in constraint.roles:
+            fact = self.schema.fact_type(role_id.fact)
+            far_position = fact.position_of(role_id.role)
+            near_position = 1 - far_position
+            mapping: dict[Instance, set[Instance]] = {}
+            for pair in self._facts[fact.name]:
+                mapping.setdefault(pair[near_position], set()).add(
+                    pair[far_position]
+                )
+            value_maps.append(
+                {common: frozenset(values) for common, values in mapping.items()}
+            )
+        combos: dict[tuple[Instance, ...], Instance] = {}
+        violations = []
+        shared = set(value_maps[0])
+        for mapping in value_maps[1:]:
+            shared &= set(mapping)
+        for common in shared:
+            value_sets = [sorted(mapping[common], key=repr) for mapping in value_maps]
+            for combo in itertools.product(*value_sets):
+                previous = combos.get(combo)
+                if previous is not None and previous != common:
+                    violations.append(
+                        Violation(
+                            constraint.name,
+                            f"combination {combo!r} identifies both "
+                            f"{previous!r} and {common!r}",
+                        )
+                    )
+                combos[combo] = common
+        return violations
+
+    def _check_total(self, constraint: TotalUnionConstraint) -> list[Violation]:
+        covered: set[Instance] = set()
+        for item in constraint.items:
+            covered |= self.item_population(item)
+        missing = self._objects[constraint.object_type] - covered
+        return [
+            Violation(
+                constraint.name,
+                f"instance {instance!r} of {constraint.object_type!r} plays "
+                "none of the required roles/subtypes",
+            )
+            for instance in missing
+        ]
+
+    def _check_exclusion(self, constraint: ExclusionConstraint) -> list[Violation]:
+        violations = []
+        populations = [
+            (item, self.item_population(item)) for item in constraint.items
+        ]
+        for (item_a, pop_a), (item_b, pop_b) in itertools.combinations(
+            populations, 2
+        ):
+            for instance in pop_a & pop_b:
+                violations.append(
+                    Violation(
+                        constraint.name,
+                        f"instance {instance!r} populates both {item_a} and "
+                        f"{item_b}, which are mutually exclusive",
+                    )
+                )
+        return violations
+
+    def _check_subset(self, constraint: SubsetConstraint) -> list[Violation]:
+        stray = self.item_population(constraint.subset) - self.item_population(
+            constraint.superset
+        )
+        return [
+            Violation(
+                constraint.name,
+                f"instance {instance!r} populates {constraint.subset} but "
+                f"not {constraint.superset}",
+            )
+            for instance in stray
+        ]
+
+    def _check_equality(self, constraint: EqualityConstraint) -> list[Violation]:
+        reference = self.item_population(constraint.items[0])
+        violations = []
+        for item in constraint.items[1:]:
+            population = self.item_population(item)
+            if population != reference:
+                difference = population ^ reference
+                violations.append(
+                    Violation(
+                        constraint.name,
+                        f"populations of {constraint.items[0]} and {item} "
+                        f"differ on {sorted(difference, key=repr)!r}",
+                    )
+                )
+        return violations
+
+    def _check_frequency(self, constraint: FrequencyConstraint) -> list[Violation]:
+        violations = []
+        for instance, count in self.role_occurrences(constraint.role).items():
+            if count < constraint.minimum or (
+                constraint.maximum is not None and count > constraint.maximum
+            ):
+                bound = (
+                    f"{constraint.minimum}..{constraint.maximum}"
+                    if constraint.maximum is not None
+                    else f">={constraint.minimum}"
+                )
+                violations.append(
+                    Violation(
+                        constraint.name,
+                        f"instance {instance!r} plays role {constraint.role} "
+                        f"{count} times (allowed: {bound})",
+                    )
+                )
+        return violations
+
+    def _check_value(self, constraint: ValueConstraint) -> list[Violation]:
+        allowed = set(constraint.values)
+        return [
+            Violation(
+                constraint.name,
+                f"instance {instance!r} of {constraint.object_type!r} is not "
+                f"among the allowed values",
+            )
+            for instance in self._objects[constraint.object_type] - allowed
+        ]
+
+    # ------------------------------------------------------------------
+    # Whole-population operations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Population":
+        """An independent copy bound to the same schema object."""
+        duplicate = Population(self.schema)
+        duplicate._objects = {name: set(pop) for name, pop in self._objects.items()}
+        duplicate._facts = {name: set(pop) for name, pop in self._facts.items()}
+        return duplicate
+
+    def as_dict(self) -> dict[str, object]:
+        """A canonical, comparable snapshot of the state."""
+        return {
+            "objects": {name: frozenset(pop) for name, pop in self._objects.items()},
+            "facts": {name: frozenset(pop) for name, pop in self._facts.items()},
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Population):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        objects = sum(len(pop) for pop in self._objects.values())
+        facts = sum(len(pop) for pop in self._facts.values())
+        return (
+            f"<Population of {self.schema.name!r}: {objects} object "
+            f"instances, {facts} fact instances>"
+        )

@@ -1,0 +1,57 @@
+"""Sublink types — the BRM subtype mechanism.
+
+"(Non-lexical) object types may be organized into subtypes (e.g.
+because of additional fact properties) using *sublink types*" and
+"the subtype occurrences implicitly inherit all properties of the
+supertype.  Subtypes need not be disjoint; not all of a NOLOT's
+occurrences need be in one of its subtypes" (section 2).
+
+A sublink type is itself a schema element with a name, so that
+constraints (total union, exclusion) can range over sublinks as well
+as roles, and so that the mapper's *sublink mapping option* can be
+overridden per individual sublink type ("a global option with
+exceptions", section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SublinkType:
+    """A subtype/supertype link between two NOLOTs.
+
+    ``subtype`` and ``supertype`` are object-type names.  The implicit
+    population of a sublink type is the set of supertype instances
+    that are members of the subtype.
+    """
+
+    name: str
+    subtype: str
+    supertype: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sublink type names must be non-empty")
+        if self.subtype == self.supertype:
+            raise ValueError(
+                f"sublink type {self.name!r}: an object type cannot be "
+                "its own subtype"
+            )
+
+
+@dataclass(frozen=True)
+class SublinkRef:
+    """Reference to a sublink type inside a constraint item list.
+
+    Set-algebraic constraints (total union, exclusion, subset,
+    equality) may range over role populations *and* subtype
+    populations; this wrapper distinguishes a sublink item from a
+    :class:`~repro.brm.facts.RoleId` item.
+    """
+
+    sublink: str
+
+    def __str__(self) -> str:
+        return f"sublink:{self.sublink}"

@@ -1,0 +1,16 @@
+"""The CRIS case — "Design Specifications for Conference Organization".
+
+The paper's running example (reference [20]): figure 6's fragment and
+the wider conference-organization schema, with sample populations.
+"""
+
+from repro.cris.figure6 import figure6_schema
+from repro.cris.schema import cris_schema
+from repro.cris.workloads import figure6_population, populate_cris
+
+__all__ = [
+    "cris_schema",
+    "figure6_population",
+    "figure6_schema",
+    "populate_cris",
+]

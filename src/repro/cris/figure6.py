@@ -1,0 +1,63 @@
+"""The binary schema of figure 6 of the paper.
+
+The figure itself is partially unavailable in the source scan; the
+schema is reconstructed from the four relational alternatives, the
+generated SQL2 fragment and the map-report fragments, which name
+every concept:
+
+* NOLOT **Paper**, identified by LOT **Paper_Id** (``CHAR(6)``);
+  mandatory fact to LOT **Title** (role ``of`` -> column ``Title_of``);
+  optional fact ``submitted_at``/``of_submission`` to LOT-NOLOT
+  **Date** (-> nullable ``Date_of_submission``).
+* NOLOT **Invited_Paper**, a subtype of Paper with no facts of its
+  own — the reason the indicator option produces the
+  ``Is_Invited_Paper`` column.
+* NOLOT **Program_Paper**, a subtype of Paper identified by LOT
+  **Paper_ProgramId** (``CHAR(2)``, roles ``with``/``of``); optional
+  fact ``presents`` (roles ``presented_by``/``presenting``) to
+  LOT-NOLOT **Person** (``CHAR(30)``); mandatory fact ``scheduled``
+  (roles ``presented_during``/``comprising``) to LOT-NOLOT
+  **Session** (``NUMERIC(3)``).
+
+Invited and program papers are not mutually exclusive in the CRIS
+case (an invited paper is usually also on the program), so no
+exclusion constraint is placed between the subtypes.
+"""
+
+from __future__ import annotations
+
+from repro.brm import BinarySchema, SchemaBuilder, char, date, numeric
+
+
+def figure6_schema() -> BinarySchema:
+    """The reconstructed binary schema of figure 6."""
+    b = SchemaBuilder("figure6")
+    b.nolot("Paper")
+    b.nolot("Invited_Paper")
+    b.nolot("Program_Paper")
+    b.lot("Paper_Id", char(6))
+    b.lot("Title", char(50))
+    b.lot("Paper_ProgramId", char(2))
+    b.lot_nolot("Date", date())
+    b.lot_nolot("Person", char(30))
+    b.lot_nolot("Session", numeric(3))
+
+    b.identifier("Paper", "Paper_Id", fact="Paper_has_Paper_Id",
+                 owner_role="with", target_role="of")
+    b.attribute("Paper", "Title", fact="Paper_has_Title",
+                owner_role="with", target_role="of", total=True)
+    b.attribute("Paper", "Date", fact="submission",
+                owner_role="submitted_at", target_role="of_submission")
+
+    b.subtype("Invited_Paper", "Paper")
+    b.subtype("Program_Paper", "Paper")
+
+    b.identifier("Program_Paper", "Paper_ProgramId",
+                 fact="Program_Paper_has_Paper_ProgramId",
+                 owner_role="with", target_role="of")
+    b.attribute("Program_Paper", "Person", fact="presents",
+                owner_role="presented_by", target_role="presenting")
+    b.attribute("Program_Paper", "Session", fact="scheduled",
+                owner_role="presented_during", target_role="comprising",
+                total=True)
+    return b.build()

@@ -1,0 +1,77 @@
+"""The wider CRIS conference-organization schema.
+
+A fuller rendition of the hypothetical conference-support database of
+the CRIS case [Olle 1988]: persons, papers, authorship, refereeing,
+sessions, the programme, and committees — exercising every BRM
+construct the library supports (subtypes, many-to-many facts, ring-
+free compound structures, exclusion and total constraints).
+"""
+
+from __future__ import annotations
+
+from repro.brm import BinarySchema, SchemaBuilder, char, numeric
+
+
+def cris_schema() -> BinarySchema:
+    """The conference-organization binary schema."""
+    b = SchemaBuilder("CRIS")
+    # Object types.
+    b.nolot("Person")
+    b.nolot("Referee")
+    b.nolot("Paper")
+    b.nolot("Program_Paper")
+    b.nolot("Session")
+    b.lot("PersonName", char(30))
+    b.lot("Affiliation", char(40))
+    b.lot("Paper_Id", char(6))
+    b.lot("Title", char(50))
+    b.lot("ProgramId", char(2))
+    b.lot("SessionNr", numeric(3))
+    b.lot("Room", char(10))
+    b.lot_nolot("Committee", char(20))
+
+    # Persons.
+    b.identifier("Person", "PersonName", fact="Person_has_PersonName")
+    b.attribute("Person", "Affiliation", fact="affiliation", total=True)
+    b.subtype("Referee", "Person")
+
+    # Papers.
+    b.identifier("Paper", "Paper_Id", fact="Paper_has_Paper_Id")
+    b.attribute("Paper", "Title", fact="Paper_has_Title", total=True)
+    b.fact(
+        "authorship",
+        ("Paper", "written_by"),
+        ("Person", "author_of"),
+        unique="first",
+        total="first",
+    )
+    b.fact(
+        "assigned_to",
+        ("Paper", "refereed_by"),
+        ("Referee", "referees"),
+        unique="pair",
+    )
+
+    # Sessions and the programme.
+    b.identifier("Session", "SessionNr", fact="Session_has_SessionNr")
+    b.attribute("Session", "Room", fact="session_room", total=True)
+    b.subtype("Program_Paper", "Paper")
+    b.identifier(
+        "Program_Paper", "ProgramId", fact="Program_Paper_has_ProgramId"
+    )
+    b.fact(
+        "program_slot",
+        ("Program_Paper", "presented_in"),
+        ("Session", "comprises"),
+        unique="first",
+        total="first",
+    )
+
+    # Committees (many-to-many membership).
+    b.fact(
+        "committee_member",
+        ("Committee", "having"),
+        ("Person", "serving_on"),
+        unique="pair",
+    )
+    return b.build()

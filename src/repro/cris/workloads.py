@@ -1,0 +1,81 @@
+"""Sample populations for the CRIS schemas."""
+
+from __future__ import annotations
+
+from repro.brm.population import Population
+from repro.brm.schema import BinarySchema
+
+
+def figure6_population(schema: BinarySchema) -> Population:
+    """A small, valid population of the figure-6 schema.
+
+    Three papers: P1 is an invited program paper presented by Ann
+    Smith in session 101; P2 is a plain program paper in session 102
+    with no presenter assigned yet; P3 is a submitted paper that is
+    neither invited nor on the program.
+    """
+    pop = Population(schema)
+    pop.add_fact("Paper_has_Paper_Id", "p1", "P1")
+    pop.add_fact("Paper_has_Title", "p1", "On Conference Databases")
+    pop.add_fact("submission", "p1", "1988-10-01")
+    pop.add_instance("Invited_Paper", "p1")
+    pop.add_instance("Program_Paper", "p1")
+    pop.add_fact("Program_Paper_has_Paper_ProgramId", "p1", "A1")
+    pop.add_fact("presents", "p1", "Ann Smith")
+    pop.add_fact("scheduled", "p1", 101)
+
+    pop.add_fact("Paper_has_Paper_Id", "p2", "P2")
+    pop.add_fact("Paper_has_Title", "p2", "Binary Models Revisited")
+    pop.add_instance("Program_Paper", "p2")
+    pop.add_fact("Program_Paper_has_Paper_ProgramId", "p2", "A2")
+    pop.add_fact("scheduled", "p2", 102)
+
+    pop.add_fact("Paper_has_Paper_Id", "p3", "P3")
+    pop.add_fact("Paper_has_Title", "p3", "A Late Submission")
+    pop.add_fact("submission", "p3", "1988-12-24")
+    return pop
+
+
+def populate_cris(schema: BinarySchema) -> Population:
+    """A valid population of the full CRIS conference schema."""
+    pop = Population(schema)
+    # People and their affiliations.
+    for person, affiliation in [
+        ("Ann Smith", "Tilburg University"),
+        ("Bob Jones", "Control Data"),
+        ("Carol King", "University of Maryland"),
+        ("Dan Brown", "Oracle Corp"),
+    ]:
+        pop.add_fact("Person_has_PersonName", person.lower(), person)
+        pop.add_fact("affiliation", person.lower(), affiliation)
+    # Papers.
+    for paper, title, author in [
+        ("P1", "On Conference Databases", "ann smith"),
+        ("P2", "Binary Models Revisited", "bob jones"),
+        ("P3", "A Late Submission", "carol king"),
+    ]:
+        pop.add_fact("Paper_has_Paper_Id", paper.lower(), paper)
+        pop.add_fact("Paper_has_Title", paper.lower(), title)
+        pop.add_fact("authorship", paper.lower(), author)
+    # Referees and reviews (a person may referee several papers).
+    pop.add_instance("Referee", "carol king")
+    pop.add_instance("Referee", "dan brown")
+    pop.add_fact("assigned_to", "p1", "carol king")
+    pop.add_fact("assigned_to", "p1", "dan brown")
+    pop.add_fact("assigned_to", "p2", "carol king")
+    # Program papers and sessions.
+    pop.add_fact("Session_has_SessionNr", "s1", 101)
+    pop.add_fact("Session_has_SessionNr", "s2", 102)
+    pop.add_fact("session_room", "s1", "Aula")
+    pop.add_fact("session_room", "s2", "Room 2")
+    pop.add_instance("Program_Paper", "p1")
+    pop.add_fact("Program_Paper_has_ProgramId", "p1", "A1")
+    pop.add_fact("program_slot", "p1", "s1")
+    pop.add_instance("Program_Paper", "p2")
+    pop.add_fact("Program_Paper_has_ProgramId", "p2", "A2")
+    pop.add_fact("program_slot", "p2", "s2")
+    # Committee membership (many-to-many).
+    pop.add_fact("committee_member", "Programme", "carol king")
+    pop.add_fact("committee_member", "Programme", "dan brown")
+    pop.add_fact("committee_member", "Organizing", "ann smith")
+    return pop

@@ -1,0 +1,6 @@
+"""Textual schema DSL — the scriptable face of RIDL-G."""
+
+from repro.dsl.lexer import Token, TokenKind, tokenize
+from repro.dsl.parser import parse, to_dsl
+
+__all__ = ["Token", "TokenKind", "parse", "to_dsl", "tokenize"]

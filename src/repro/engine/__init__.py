@@ -1,0 +1,44 @@
+"""In-memory relational engine — the substrate standing in for the
+ORACLE/INGRES/DB2 targets of the paper.
+
+Stores tuples for a generic relational schema, evaluates queries, and
+enforces every constraint type RIDL-M generates, including the
+extended view constraints ("lossless rules") that 1989-era RDBMSs
+could not check natively.
+"""
+
+from repro.engine.cost import (
+    CostModel,
+    TableStatistics,
+    entity_fetch_cost,
+    point_lookup_cost,
+    relations_holding_entity,
+    row_bytes,
+    scan_cost,
+)
+from repro.engine.database import Database
+from repro.engine.query import (
+    Row,
+    duplicates,
+    equijoin,
+    group_by,
+    project,
+    select_rows,
+)
+
+__all__ = [
+    "CostModel",
+    "Database",
+    "Row",
+    "TableStatistics",
+    "duplicates",
+    "entity_fetch_cost",
+    "equijoin",
+    "group_by",
+    "point_lookup_cost",
+    "project",
+    "relations_holding_entity",
+    "row_bytes",
+    "scan_cost",
+    "select_rows",
+]

@@ -1,0 +1,292 @@
+"""An in-memory relational database enforcing the generic schema.
+
+This is the substrate that stands in for the ORACLE/INGRES/DB2
+installations of the paper: it stores tuples for a
+:class:`~repro.relational.schema.RelationalSchema` and can check
+*every* constraint type RIDL-M generates — including the extended
+view constraints that the target DBMSs of 1989 could not enforce and
+that the paper therefore emitted as pseudo-SQL specifications.
+Executing the generated schemas here is how the reproduction
+validates state equivalence end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.engine.query import Row, duplicates, project, select_rows
+from repro.errors import EngineError, IntegrityViolation
+from repro.relational.constraints import (
+    CandidateKey,
+    CheckConstraint,
+    EqualityViewConstraint,
+    ForeignKey,
+    PrimaryKey,
+    SelectSpec,
+    SubsetViewConstraint,
+)
+from repro.relational.predicates import Predicate
+from repro.relational.schema import RelationalSchema
+
+
+class Database:
+    """Tuples for every relation of a relational schema."""
+
+    def __init__(self, schema: RelationalSchema) -> None:
+        self.schema = schema
+        self._tables: dict[str, list[Row]] = {
+            relation.name: [] for relation in schema.relations
+        }
+
+    # ------------------------------------------------------------------
+    # Data manipulation
+    # ------------------------------------------------------------------
+
+    def insert(self, relation_name: str, row: Mapping[str, object]) -> Row:
+        """Insert a row; unknown columns are rejected, missing ones NULL.
+
+        Constraint checking is deferred to :meth:`check` /
+        :meth:`validate`, matching how the generated pseudo-SQL
+        constraints were meant to be verified by application programs
+        rather than per-statement.
+        """
+        relation = self.schema.relation(relation_name)
+        unknown = set(row) - set(relation.attribute_names)
+        if unknown:
+            raise EngineError(
+                f"relation {relation_name!r} has no columns {sorted(unknown)}"
+            )
+        complete: Row = {name: row.get(name) for name in relation.attribute_names}
+        self._tables[relation_name].append(complete)
+        return complete
+
+    def insert_many(
+        self, relation_name: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        """Insert several rows."""
+        for row in rows:
+            self.insert(relation_name, row)
+
+    def delete(
+        self, relation_name: str, where: Predicate | None = None
+    ) -> int:
+        """Delete matching rows; returns how many were removed."""
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)  # raise UnknownElementError
+        table = self._tables[relation_name]
+        if where is None:
+            removed = len(table)
+            table.clear()
+            return removed
+        keep = [row for row in table if not where.evaluate(row)]
+        removed = len(table) - len(keep)
+        self._tables[relation_name] = keep
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def rows(self, relation_name: str) -> list[Row]:
+        """All rows of a relation (copies, in insertion order)."""
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        return [dict(row) for row in self._tables[relation_name]]
+
+    def count(self, relation_name: str) -> int:
+        """Number of rows in a relation."""
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        return len(self._tables[relation_name])
+
+    def select(
+        self,
+        relation_name: str,
+        where: Predicate | None = None,
+        columns: tuple[str, ...] | None = None,
+    ) -> list[Row]:
+        """Rows (optionally projected) satisfying ``where``."""
+        matched = select_rows(self.rows(relation_name), where)
+        if columns is None:
+            return matched
+        return [{c: row.get(c) for c in columns} for row in matched]
+
+    def evaluate_select(self, spec: SelectSpec) -> set[tuple[object, ...]]:
+        """The tuple set denoted by one side of a view constraint."""
+        matched = select_rows(self._tables[spec.relation], spec.where)
+        return set(project(matched, spec.columns, distinct=True))
+
+    # ------------------------------------------------------------------
+    # Constraint checking
+    # ------------------------------------------------------------------
+
+    def check(self) -> list[IntegrityViolation]:
+        """Every constraint violation in the current state."""
+        violations: list[IntegrityViolation] = []
+        violations.extend(self._check_not_null())
+        for constraint in self.schema.constraints:
+            if isinstance(constraint, (PrimaryKey, CandidateKey)):
+                violations.extend(self._check_key(constraint))
+            elif isinstance(constraint, ForeignKey):
+                violations.extend(self._check_foreign_key(constraint))
+            elif isinstance(constraint, CheckConstraint):
+                violations.extend(self._check_check(constraint))
+            elif isinstance(constraint, EqualityViewConstraint):
+                violations.extend(self._check_equality_view(constraint))
+            elif isinstance(constraint, SubsetViewConstraint):
+                violations.extend(self._check_subset_view(constraint))
+        return violations
+
+    def is_valid(self) -> bool:
+        """True when no constraint is violated."""
+        return not self.check()
+
+    def validate(self) -> None:
+        """Raise the first few violations as an error."""
+        violations = self.check()
+        if violations:
+            summary = "; ".join(str(v) for v in violations[:5])
+            if len(violations) > 5:
+                summary += f" (+{len(violations) - 5} more)"
+            raise IntegrityViolation("multiple" if len(violations) > 1 else
+                                     violations[0].constraint_name, summary)
+
+    def _check_not_null(self) -> list[IntegrityViolation]:
+        violations = []
+        for relation in self.schema.relations:
+            required = [a.name for a in relation.attributes if not a.nullable]
+            for row in self._tables[relation.name]:
+                for column in required:
+                    if row.get(column) is None:
+                        violations.append(
+                            IntegrityViolation(
+                                f"NOT NULL {relation.name}.{column}",
+                                f"row {row!r} has NULL in mandatory column "
+                                f"{column!r}",
+                            )
+                        )
+        return violations
+
+    def _check_key(
+        self, constraint: PrimaryKey | CandidateKey
+    ) -> list[IntegrityViolation]:
+        violations = []
+        table = self._tables[constraint.relation]
+        if isinstance(constraint, PrimaryKey):
+            # Entity integrity — unless the attribute was explicitly made
+            # nullable (the paper's "NULL ALLOWED" option deliberately
+            # violates the Entity Integrity Rule, section 4.2.1), in
+            # which case NULL keys are skipped for uniqueness.
+            relation = self.schema.relation(constraint.relation)
+            for column in constraint.columns:
+                if relation.attribute(column).nullable:
+                    continue
+                for row in table:
+                    if row.get(column) is None:
+                        violations.append(
+                            IntegrityViolation(
+                                constraint.name,
+                                f"NULL in primary key column {column!r}",
+                            )
+                        )
+        for key in duplicates(table, constraint.columns):
+            violations.append(
+                IntegrityViolation(
+                    constraint.name,
+                    f"duplicate key {key!r} in {constraint.relation!r}",
+                )
+            )
+        return violations
+
+    def _check_foreign_key(self, constraint: ForeignKey) -> list[IntegrityViolation]:
+        referenced = {
+            tuple(row.get(c) for c in constraint.referenced_columns)
+            for row in self._tables[constraint.referenced_relation]
+        }
+        violations = []
+        for row in self._tables[constraint.relation]:
+            key = tuple(row.get(c) for c in constraint.columns)
+            if any(value is None for value in key):
+                continue  # partially/fully NULL FKs do not need a match
+            if key not in referenced:
+                violations.append(
+                    IntegrityViolation(
+                        constraint.name,
+                        f"{constraint.relation!r} value {key!r} has no match "
+                        f"in {constraint.referenced_relation!r}"
+                        f"({', '.join(constraint.referenced_columns)})",
+                    )
+                )
+        return violations
+
+    def _check_check(self, constraint: CheckConstraint) -> list[IntegrityViolation]:
+        return [
+            IntegrityViolation(
+                constraint.name,
+                f"row {row!r} fails {constraint.predicate.render()}",
+            )
+            for row in self._tables[constraint.relation]
+            if not constraint.predicate.evaluate(row)
+        ]
+
+    def _check_equality_view(
+        self, constraint: EqualityViewConstraint
+    ) -> list[IntegrityViolation]:
+        left = self.evaluate_select(constraint.left)
+        right = self.evaluate_select(constraint.right)
+        if left == right:
+            return []
+        return [
+            IntegrityViolation(
+                constraint.name,
+                f"view sets differ: only-left={sorted(left - right, key=repr)!r} "
+                f"only-right={sorted(right - left, key=repr)!r}",
+            )
+        ]
+
+    def _check_subset_view(
+        self, constraint: SubsetViewConstraint
+    ) -> list[IntegrityViolation]:
+        subset = self.evaluate_select(constraint.subset)
+        superset = self.evaluate_select(constraint.superset)
+        stray = subset - superset
+        if not stray:
+            return []
+        return [
+            IntegrityViolation(
+                constraint.name,
+                f"tuples {sorted(stray, key=repr)!r} are not in the superset view",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Whole-database operations
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Database":
+        """An independent copy sharing the schema object."""
+        duplicate = Database(self.schema)
+        duplicate._tables = {
+            name: [dict(row) for row in rows] for name, rows in self._tables.items()
+        }
+        return duplicate
+
+    def as_dict(self) -> dict[str, frozenset[tuple[object, ...]]]:
+        """A canonical snapshot: relation -> set of attribute tuples."""
+        snapshot = {}
+        for relation in self.schema.relations:
+            columns = relation.attribute_names
+            snapshot[relation.name] = frozenset(
+                tuple(row.get(c) for c in columns)
+                for row in self._tables[relation.name]
+            )
+        return snapshot
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(len(rows) for rows in self._tables.values())
+        return f"<Database of {self.schema.name!r}: {total} rows>"

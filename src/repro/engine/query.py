@@ -1,0 +1,115 @@
+"""Row-set operations for the in-memory relational engine.
+
+Rows are plain dictionaries mapping column names to values, with
+``None`` playing SQL NULL.  The helpers here implement the handful of
+relational-algebra operations the engine, the constraint checker and
+the state-equivalence tests need: selection, projection (with NULL
+filtering), and equijoins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.relational.predicates import Predicate
+
+Row = dict[str, object]
+RowFilter = Callable[[Row], bool]
+
+
+def select_rows(
+    rows: Iterable[Row], where: Predicate | RowFilter | None = None
+) -> list[Row]:
+    """Rows satisfying the predicate (all rows when ``where`` is None)."""
+    if where is None:
+        return list(rows)
+    if isinstance(where, Predicate):
+        return [row for row in rows if where.evaluate(row)]
+    return [row for row in rows if where(row)]
+
+
+def project(
+    rows: Iterable[Row],
+    columns: Sequence[str],
+    *,
+    distinct: bool = True,
+    drop_null: bool = False,
+) -> list[tuple[object, ...]]:
+    """Project rows onto columns.
+
+    ``drop_null`` removes tuples containing any NULL — the semantics
+    the paper's view constraints use (``WHERE x IS NOT NULL``).
+    """
+    projected = []
+    seen: set[tuple[object, ...]] = set()
+    for row in rows:
+        values = tuple(row.get(column) for column in columns)
+        if drop_null and any(value is None for value in values):
+            continue
+        if distinct:
+            if values in seen:
+                continue
+            seen.add(values)
+        projected.append(values)
+    return projected
+
+
+def equijoin(
+    left: Iterable[Row],
+    right: Iterable[Row],
+    pairs: Sequence[tuple[str, str]],
+    *,
+    prefixes: tuple[str, str] = ("l_", "r_"),
+) -> list[Row]:
+    """Equijoin on ``pairs`` of (left column, right column).
+
+    NULL never joins (SQL semantics).  Output columns are prefixed to
+    avoid collisions.
+    """
+    if not pairs:
+        raise ValueError("equijoin needs at least one column pair")
+    index: dict[tuple[object, ...], list[Row]] = {}
+    for row in right:
+        key = tuple(row.get(col) for _, col in pairs)
+        if any(value is None for value in key):
+            continue
+        index.setdefault(key, []).append(row)
+    joined = []
+    left_prefix, right_prefix = prefixes
+    for row in left:
+        key = tuple(row.get(col) for col, _ in pairs)
+        if any(value is None for value in key):
+            continue
+        for match in index.get(key, ()):
+            combined: Row = {f"{left_prefix}{k}": v for k, v in row.items()}
+            combined.update({f"{right_prefix}{k}": v for k, v in match.items()})
+            joined.append(combined)
+    return joined
+
+
+def group_by(
+    rows: Iterable[Row], columns: Sequence[str]
+) -> dict[tuple[object, ...], list[Row]]:
+    """Group rows by the values of ``columns``."""
+    groups: dict[tuple[object, ...], list[Row]] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in columns)
+        groups.setdefault(key, []).append(row)
+    return groups
+
+
+def duplicates(
+    rows: Iterable[Row], columns: Sequence[str], *, ignore_null: bool = True
+) -> list[tuple[object, ...]]:
+    """Key values appearing in more than one row.
+
+    ``ignore_null`` skips tuples containing NULL (candidate keys allow
+    multiple NULLs; uniqueness applies to fully present values only).
+    """
+    counts: dict[tuple[object, ...], int] = {}
+    for row in rows:
+        key = tuple(row.get(column) for column in columns)
+        if ignore_null and any(value is None for value in key):
+            continue
+        counts[key] = counts.get(key, 0) + 1
+    return [key for key, count in counts.items() if count > 1]

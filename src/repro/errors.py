@@ -1,0 +1,105 @@
+"""Exception hierarchy for the RIDL* reproduction.
+
+Every error raised by the library derives from :class:`RidlError`, so
+applications can catch a single type.  The subclasses mirror the module
+boundaries of the system: schema construction (RIDL-G), analysis
+(RIDL-A), mapping (RIDL-M), population handling and SQL generation.
+"""
+
+from __future__ import annotations
+
+
+class RidlError(Exception):
+    """Base class for all errors raised by the RIDL* reproduction."""
+
+
+class SchemaError(RidlError):
+    """A binary schema is malformed or an operation on it is illegal.
+
+    Raised by the BRM layer and the schema builder when a rule of the
+    Binary Relationship Model would be violated by a construction step
+    (the paper notes that "certain rules of the BRM are enforced by
+    RIDL-G as the schema is constructed").
+    """
+
+
+class DuplicateNameError(SchemaError):
+    """A schema element with the same name already exists."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"{kind} named {name!r} already exists in the schema")
+        self.kind = kind
+        self.name = name
+
+
+class UnknownElementError(SchemaError):
+    """A referenced schema element does not exist."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(f"no {kind} named {name!r} in the schema")
+        self.kind = kind
+        self.name = name
+
+
+class ConstraintError(SchemaError):
+    """A constraint definition is ill-formed (wrong arity, wrong targets)."""
+
+
+class AnalysisError(RidlError):
+    """RIDL-A could not analyze the schema."""
+
+
+class PopulationError(RidlError):
+    """A population violates its schema or an operation on it is illegal."""
+
+
+class MappingError(RidlError):
+    """RIDL-M could not map the schema under the given options."""
+
+
+class NotReferableError(MappingError):
+    """A NOLOT has no lexical reference scheme, so it cannot be mapped.
+
+    The paper requires RIDL-A to detect these before mapping; RIDL-M
+    raises this error if asked to map a schema containing one.
+    """
+
+    def __init__(self, nolot_name: str) -> None:
+        super().__init__(
+            f"object type {nolot_name!r} has no one-to-one lexical "
+            "reference scheme; run the analyzer for details"
+        )
+        self.nolot_name = nolot_name
+
+
+class TransformationError(MappingError):
+    """A basic schema transformation was applied to an invalid input."""
+
+
+class SqlGenerationError(RidlError):
+    """A SQL emitter could not render the relational schema."""
+
+
+class EngineError(RidlError):
+    """The in-memory relational engine rejected an operation."""
+
+
+class IntegrityViolation(EngineError):
+    """A database state violates a constraint of its relational schema."""
+
+    def __init__(self, constraint_name: str, message: str) -> None:
+        super().__init__(f"constraint {constraint_name}: {message}")
+        self.constraint_name = constraint_name
+
+
+class DslSyntaxError(RidlError):
+    """The textual schema DSL contained a syntax error."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class MetaDatabaseError(RidlError):
+    """The meta-database rejected an operation (unknown schema, version)."""

@@ -1,0 +1,36 @@
+"""RIDL-M — the mapper module (section 4 of the paper).
+
+Generates a relational data schema (normalized or not) from a binary
+conceptual schema by composing basic schema transformations under the
+control of a rule base and the database engineer's mapping options,
+together with lossless rules, DDL and the bidirectional map report.
+"""
+
+from repro.mapper.engine import map_schema
+from repro.mapper.options import MappingOptions, NullPolicy, SublinkPolicy
+from repro.mapper.result import MappingResult
+from repro.mapper.rulebase import Rule, TransformationEngine, default_rule_base
+from repro.mapper.state import MappingState
+from repro.mapper.state_map import RelationalStateMap, canonicalize_population
+from repro.mapper.synthesis import MappingPlan
+from repro.mapper.trace import AppliedStep, Provenance, PseudoConstraint
+from repro.mapper.translate import translate_state
+
+__all__ = [
+    "AppliedStep",
+    "MappingOptions",
+    "MappingPlan",
+    "MappingResult",
+    "MappingState",
+    "NullPolicy",
+    "Provenance",
+    "PseudoConstraint",
+    "RelationalStateMap",
+    "Rule",
+    "SublinkPolicy",
+    "TransformationEngine",
+    "canonicalize_population",
+    "default_rule_base",
+    "map_schema",
+    "translate_state",
+]

@@ -1,0 +1,132 @@
+"""Canonical descriptions of BRM concepts.
+
+The map report speaks about binary-schema concepts in a fixed house
+style, e.g.::
+
+    FACT WITH ROLE presented_by ON NOLOT Program_Paper AND ROLE
+    presenting ON LOT-NOLOT Person
+
+    SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper
+
+    IDENTIFIER : ROLE ON NOLOT Paper AND LOT Paper_Id
+
+    TOTAL : ROLE presented_during ON NOLOT Program_Paper AND
+    LOT-NOLOT Session
+
+These strings are the vocabulary of the forwards and backwards maps;
+they are produced here so that provenance records, reports and tests
+agree on one spelling per concept.
+"""
+
+from __future__ import annotations
+
+from repro.brm.constraints import (
+    Constraint,
+    EqualityConstraint,
+    ExclusionConstraint,
+    FrequencyConstraint,
+    SubsetConstraint,
+    TotalUnionConstraint,
+    UniquenessConstraint,
+    ValueConstraint,
+)
+from repro.brm.facts import FactType, RoleId
+from repro.brm.schema import BinarySchema
+from repro.brm.sublinks import SublinkRef, SublinkType
+
+
+def describe_object_type(schema: BinarySchema, name: str) -> str:
+    """``NOLOT Paper`` / ``LOT Paper_Id`` / ``LOT-NOLOT Person``."""
+    object_type = schema.object_type(name)
+    return f"{object_type.kind.value} {name}"
+
+
+def describe_fact(schema: BinarySchema, fact: FactType | str) -> str:
+    """The house-style description of a fact type."""
+    if isinstance(fact, str):
+        fact = schema.fact_type(fact)
+    return (
+        f"FACT WITH ROLE {fact.first.name} ON "
+        f"{describe_object_type(schema, fact.first.player)} AND ROLE "
+        f"{fact.second.name} ON "
+        f"{describe_object_type(schema, fact.second.player)}"
+    )
+
+
+def describe_role(schema: BinarySchema, role_id: RoleId) -> str:
+    """``ROLE presenting ON LOT-NOLOT Person``."""
+    role = schema.role(role_id)
+    return (
+        f"ROLE {role.name} ON {describe_object_type(schema, role.player)}"
+    )
+
+
+def describe_sublink(schema: BinarySchema, sublink: SublinkType | str) -> str:
+    """``SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper``."""
+    if isinstance(sublink, str):
+        sublink = schema.sublink(sublink)
+    return (
+        f"SUBLINK IS FROM {describe_object_type(schema, sublink.subtype)} "
+        f"TO {describe_object_type(schema, sublink.supertype)}"
+    )
+
+
+def _describe_item(schema: BinarySchema, item: object) -> str:
+    if isinstance(item, RoleId):
+        return describe_role(schema, item)
+    if isinstance(item, SublinkRef):
+        return describe_sublink(schema, item.sublink)
+    return str(item)
+
+
+def describe_constraint(schema: BinarySchema, constraint: Constraint) -> str:
+    """The house-style description of a binary constraint."""
+    if isinstance(constraint, UniquenessConstraint):
+        if constraint.is_simple:
+            role_id = constraint.roles[0]
+            co_player = schema.co_player_name(role_id)
+            label = "IDENTIFIER" if constraint.is_reference else "UNIQUE"
+            return (
+                f"{label} : {describe_role(schema, role_id)} AND "
+                f"{describe_object_type(schema, co_player)}"
+            )
+        roles = " , ".join(describe_role(schema, r) for r in constraint.roles)
+        return f"UNIQUE OVER : {roles}"
+    if isinstance(constraint, TotalUnionConstraint):
+        if constraint.is_total_role:
+            role_id = constraint.items[0]
+            co_player = schema.co_player_name(role_id)
+            return (
+                f"TOTAL : {describe_role(schema, role_id)} AND "
+                f"{describe_object_type(schema, co_player)}"
+            )
+        items = " , ".join(_describe_item(schema, i) for i in constraint.items)
+        return (
+            f"TOTAL UNION ON "
+            f"{describe_object_type(schema, constraint.object_type)} : {items}"
+        )
+    if isinstance(constraint, ExclusionConstraint):
+        items = " , ".join(_describe_item(schema, i) for i in constraint.items)
+        return f"EXCLUSION : {items}"
+    if isinstance(constraint, EqualityConstraint):
+        items = " , ".join(_describe_item(schema, i) for i in constraint.items)
+        return f"EQUALITY : {items}"
+    if isinstance(constraint, SubsetConstraint):
+        return (
+            f"SUBSET : {_describe_item(schema, constraint.subset)} IN "
+            f"{_describe_item(schema, constraint.superset)}"
+        )
+    if isinstance(constraint, FrequencyConstraint):
+        upper = "N" if constraint.maximum is None else str(constraint.maximum)
+        return (
+            f"FREQUENCY ({constraint.minimum}..{upper}) : "
+            f"{describe_role(schema, constraint.role)}"
+        )
+    if isinstance(constraint, ValueConstraint):
+        values = ", ".join(repr(v) for v in constraint.values)
+        return (
+            f"VALUES OF "
+            f"{describe_object_type(schema, constraint.object_type)} : "
+            f"({values})"
+        )
+    return f"CONSTRAINT {constraint.name}"

@@ -1,0 +1,89 @@
+"""RIDL-M's entry point: ``map_schema``.
+
+Orchestrates a mapping session: analyzer gate (a schema with blocking
+RIDL-A errors is refused), the rule-driven binary-to-binary phase,
+plan synthesis, the combine/omit relational options, materialization
+with lossless rules, and assembly of the
+:class:`~repro.mapper.result.MappingResult`.
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.api import analyze
+from repro.brm.schema import BinarySchema
+from repro.errors import AnalysisError
+from repro.mapper.lossless import materialize
+from repro.mapper.options import MappingOptions, NullPolicy
+from repro.mapper.relational_relational import apply_combines, apply_omissions
+from repro.mapper.result import MappingResult
+from repro.mapper.rulebase import Rule, TransformationEngine
+from repro.mapper.state import MappingState
+from repro.mapper.state_map import RelationalStateMap
+from repro.mapper.synthesis import build_plan
+
+
+def map_schema(
+    schema: BinarySchema,
+    options: MappingOptions | None = None,
+    *,
+    analyze_first: bool = True,
+    extra_rules: tuple[Rule, ...] = (),
+) -> MappingResult:
+    """Map a binary conceptual schema to a relational design.
+
+    ``options`` are the section-4.2 mapping options; ``extra_rules``
+    are appended to the default rule base (the paper's externalized
+    "expert rules").  With ``analyze_first`` (default) the schema must
+    pass RIDL-A: correctness/consistency errors always block;
+    non-referable object types block unless the NULL ALLOWED policy is
+    chosen (a non-homogeneous reference may still make them mappable,
+    which the synthesis verifies).
+    """
+    options = options or MappingOptions()
+    if analyze_first:
+        _gate(schema, options)
+    state = MappingState(
+        schema=schema.copy(), options=options, original=schema
+    )
+    engine = TransformationEngine()
+    for rule in extra_rules:
+        engine.add_rule(rule)
+    engine.run(state)
+    plan = build_plan(state)
+    apply_combines(state, plan)
+    apply_omissions(state, plan)
+    relational, provenance = materialize(state, plan)
+    for pseudo in state.pseudo_constraints:
+        provenance.add_forward(
+            f"PSEUDO {pseudo.name}",
+            pseudo.text,
+        )
+    return MappingResult(
+        source=schema,
+        canonical=state.schema,
+        relational=relational,
+        options=options,
+        plan=plan,
+        provenance=provenance,
+        steps=state.steps,
+        pseudo_constraints=state.pseudo_constraints,
+        state=state,
+        state_map=RelationalStateMap(plan, relational),
+    )
+
+
+def _gate(schema: BinarySchema, options: MappingOptions) -> None:
+    report = analyze(schema)
+    tolerated = (
+        {"NOT_REFERABLE"}
+        if options.null_policy is NullPolicy.ALLOWED
+        else set()
+    )
+    blocking = [d for d in report.errors if d.code not in tolerated]
+    if blocking:
+        details = "; ".join(str(d) for d in blocking[:5])
+        if len(blocking) > 5:
+            details += f" (+{len(blocking) - 5} more)"
+        raise AnalysisError(
+            f"schema {schema.name!r} is not mappable: {details}"
+        )

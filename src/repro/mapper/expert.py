@@ -1,0 +1,212 @@
+"""Expert rules: steering the mapping from workload information.
+
+The paper's concluding remarks: "Current research is concentrated on
+how to expand RIDL-M into a rule driven system, that also has the
+capability to automatically generate the database schema that best
+fits a particular application environment" and, in section 4.1,
+"query information can be used to steer the mapping towards limited
+de-normalization whereas right now the database engineer has to infer
+the correct RIDL-M controls from his own knowledge."
+
+This module implements that extension: a :class:`QueryProfile`
+describes the conceptual access patterns of the applications (which
+facts of which object type are fetched together, how often); the
+advisor maps the schema under a set of candidate option combinations,
+compiles each pattern through the query compiler, prices the plans
+with the I/O cost model, and recommends the cheapest — producing the
+"limited de-normalization" automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.brm.schema import BinarySchema
+from repro.engine.cost import CostModel, TableStatistics, entity_fetch_cost
+from repro.errors import MappingError
+from repro.mapper.engine import map_schema
+from repro.mapper.options import MappingOptions, NullPolicy, SublinkPolicy
+from repro.ridl.queries import ConceptualQuery, FactSelection, QueryCompiler
+
+
+@dataclass(frozen=True)
+class QueryPattern:
+    """One conceptual access pattern.
+
+    ``facts`` are the fact types fetched together with the instance
+    of ``object_type``; ``frequency`` is its relative weight in the
+    workload (executions per unit of time).
+    """
+
+    object_type: str
+    facts: tuple[str, ...]
+    frequency: float = 1.0
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """The application environment's conceptual workload."""
+
+    patterns: tuple[QueryPattern, ...]
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("a query profile needs at least one pattern")
+
+
+@dataclass
+class CandidateEvaluation:
+    """One priced candidate option combination."""
+
+    label: str
+    options: MappingOptions
+    weighted_cost: float
+    table_count: int
+    pattern_costs: dict[str, float] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def feasible(self) -> bool:
+        """False when the combination could not be mapped."""
+        return self.error is None
+
+
+@dataclass
+class Recommendation:
+    """The advisor's output: the winner plus the full ranking."""
+
+    best: CandidateEvaluation
+    ranking: list[CandidateEvaluation]
+
+    def render(self) -> str:
+        """A report of the evaluated candidates, cheapest first."""
+        lines = ["expert-rule recommendation (weighted page reads):"]
+        for evaluation in self.ranking:
+            if not evaluation.feasible:
+                lines.append(
+                    f"  {evaluation.label:32s} infeasible: {evaluation.error}"
+                )
+                continue
+            marker = " <= recommended" if evaluation is self.best else ""
+            lines.append(
+                f"  {evaluation.label:32s} cost={evaluation.weighted_cost:8.1f} "
+                f"tables={evaluation.table_count}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def candidate_option_sets(schema: BinarySchema) -> list[tuple[str, MappingOptions]]:
+    """The option combinations the advisor evaluates.
+
+    The fixed global policies plus one TOGETHER-override candidate per
+    sublink (the "limited de-normalization" moves).
+    """
+    candidates = [
+        ("default (SEPARATE)", MappingOptions()),
+        (
+            "NULL NOT ALLOWED",
+            MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+        ),
+        (
+            "INDICATOR everywhere",
+            MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+        ),
+        (
+            "TOGETHER everywhere",
+            MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+        ),
+    ]
+    for sublink in schema.sublinks:
+        candidates.append(
+            (
+                f"TOGETHER for {sublink.name}",
+                MappingOptions(
+                    sublink_overrides=((sublink.name, SublinkPolicy.TOGETHER),)
+                ),
+            )
+        )
+    return candidates
+
+
+def evaluate_candidate(
+    schema: BinarySchema,
+    label: str,
+    options: MappingOptions,
+    profile: QueryProfile,
+    statistics: TableStatistics,
+    model: CostModel = CostModel(),
+) -> CandidateEvaluation:
+    """Map under one option set and price the profile against it."""
+    try:
+        result = map_schema(schema, options)
+    except MappingError as exc:
+        return CandidateEvaluation(
+            label=label,
+            options=options,
+            weighted_cost=float("inf"),
+            table_count=0,
+            error=str(exc),
+        )
+    compiler = QueryCompiler(result)
+    pattern_costs: dict[str, float] = {}
+    total = 0.0
+    for pattern in profile.patterns:
+        query = ConceptualQuery(
+            pattern.object_type,
+            selections=tuple(
+                FactSelection(fact) for fact in pattern.facts
+            ),
+        )
+        try:
+            compiled = compiler.compile(query)
+        except MappingError as exc:
+            return CandidateEvaluation(
+                label=label,
+                options=options,
+                weighted_cost=float("inf"),
+                table_count=len(result.relational.relations),
+                error=f"pattern on {pattern.object_type!r}: {exc}",
+            )
+        cost = entity_fetch_cost(
+            result.relational, compiled.relations_touched, statistics, model
+        )
+        key = f"{pattern.object_type}({', '.join(pattern.facts)})"
+        pattern_costs[key] = cost * pattern.frequency
+        total += cost * pattern.frequency
+    return CandidateEvaluation(
+        label=label,
+        options=options,
+        weighted_cost=total,
+        table_count=len(result.relational.relations),
+        pattern_costs=pattern_costs,
+    )
+
+
+def recommend_options(
+    schema: BinarySchema,
+    profile: QueryProfile,
+    *,
+    statistics: TableStatistics | None = None,
+    model: CostModel = CostModel(),
+    extra_candidates: tuple[tuple[str, MappingOptions], ...] = (),
+) -> Recommendation:
+    """Pick the option combination that best fits the workload."""
+    statistics = statistics or TableStatistics()
+    evaluations = [
+        evaluate_candidate(schema, label, options, profile, statistics, model)
+        for label, options in (
+            list(candidate_option_sets(schema)) + list(extra_candidates)
+        )
+    ]
+    feasible = [e for e in evaluations if e.feasible]
+    if not feasible:
+        raise MappingError(
+            "no candidate option combination could map the schema"
+        )
+    # Stable sort: on equal cost the earlier candidate (the paper's
+    # default SEPARATE comes first) wins — denormalize only when the
+    # workload actually pays for it.
+    ranking = sorted(
+        evaluations, key=lambda e: (not e.feasible, e.weighted_cost)
+    )
+    return Recommendation(best=ranking[0], ranking=ranking)

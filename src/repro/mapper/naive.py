@@ -1,0 +1,203 @@
+"""The naive mapping algorithm — the paper's baseline (section 4).
+
+"As an example we sketch the naive algorithm to transform a binary
+schema into a relational schema":
+
+1. construct a relation for each NOLOT by grouping all functionally
+   dependent roles for the NOLOT as attributes in one relation;
+2. for each subtype NOLOT add an extra attribute referring to a
+   supertype (for referential integrity);
+3. for each many-to-many fact type, create a separate relation of two
+   attributes;
+4. replace non-lexical attributes by a lexical representation type;
+5. add additional constraints according to the binary schema ("this
+   is not as easy as it sounds") — the naive algorithm only conserves
+   constraint types with a direct relational counterpart: keys,
+   foreign keys and NOT NULL.  Everything else is silently dropped,
+   which is precisely the deficiency RIDL-M exists to fix.
+
+The algorithm always yields a fully normalized (5NF) schema; the
+reproduction uses it as the comparison baseline for table counts,
+dropped-constraint counts and simulated I/O cost.
+"""
+
+from __future__ import annotations
+
+from repro.brm.constraints import UniquenessConstraint
+from repro.brm.facts import RoleId
+from repro.brm.objects import ObjectKind
+from repro.brm.reference import ReferenceResolver
+from repro.brm.schema import BinarySchema
+from repro.errors import NotReferableError
+from repro.mapper import naming
+from repro.relational.constraints import CandidateKey, ForeignKey, PrimaryKey
+from repro.relational.schema import (
+    Attribute,
+    Domain,
+    Relation,
+    RelationalSchema,
+)
+
+
+def dropped_constraints(schema: BinarySchema) -> list[str]:
+    """Binary constraints the naive algorithm silently loses.
+
+    Everything that is not a uniqueness bar, a single total role or a
+    reference scheme has no counterpart in the naive output:
+    exclusions, equalities, subsets, total unions, frequency and
+    value constraints.
+    """
+    from repro.brm.constraints import TotalUnionConstraint
+
+    lost = []
+    for constraint in schema.constraints:
+        if isinstance(constraint, UniquenessConstraint):
+            continue
+        if isinstance(constraint, TotalUnionConstraint) and (
+            constraint.is_total_role
+        ):
+            continue
+        lost.append(constraint.name)
+    return lost
+
+
+def naive_map(schema: BinarySchema) -> RelationalSchema:
+    """Run the five-step naive algorithm.
+
+    Raises :class:`NotReferableError` when a NOLOT has no lexical
+    representation (the naive algorithm presumes RIDL-A has been run).
+    """
+    resolver = ReferenceResolver(schema)
+    missing = resolver.non_referable()
+    if missing:
+        raise NotReferableError(sorted(missing)[0])
+    rschema = RelationalSchema(f"{schema.name}_naive")
+
+    reference_facts: dict[str, set[str]] = {}
+    for object_type in schema.object_types:
+        if resolver.is_referable(object_type.name):
+            scheme = resolver.chosen_scheme(object_type.name)
+            reference_facts[object_type.name] = {
+                component.fact for component in scheme.components
+            }
+
+    def make_columns(
+        taken: set[str], target: str, suffix: str, nullable: bool
+    ) -> list[Attribute]:
+        columns = []
+        for leaf in resolver.leaves(target):
+            name = naming.disambiguate(
+                f"{leaf.lot}_{suffix}" if suffix else leaf.lot, taken
+            )
+            taken.add(name)
+            rschema.add_domain(
+                Domain(naming.domain_name(leaf.lot), leaf.datatype)
+            )
+            columns.append(
+                Attribute(name, naming.domain_name(leaf.lot), nullable=nullable)
+            )
+        return columns
+
+    pk_of: dict[str, tuple[str, ...]] = {}
+    pending_fks: list[tuple[str, tuple[str, ...], str]] = []
+    pending_candidates: list[CandidateKey] = []
+
+    # Steps 1, 2 and 4: one relation per NOLOT, keyed by its lexical
+    # representation, with every functionally dependent role as an
+    # attribute and a supertype reference per sublink.
+    for object_type in schema.object_types:
+        if object_type.kind is not ObjectKind.NOLOT:
+            continue
+        taken: set[str] = set()
+        key_attributes = make_columns(taken, object_type.name, "", False)
+        attributes = list(key_attributes)
+        consumed = reference_facts.get(object_type.name, set())
+        for near_id in schema.functional_roles_of(object_type.name):
+            if near_id.fact in consumed:
+                continue
+            fact = schema.fact_type(near_id.fact)
+            far_role = fact.co_role(near_id.role)
+            nullable = not schema.is_total(near_id)
+            columns = make_columns(taken, far_role.player, far_role.name, nullable)
+            attributes.extend(columns)
+            if schema.object_type(far_role.player).kind is ObjectKind.NOLOT:
+                pending_fks.append(
+                    (
+                        object_type.name,
+                        tuple(a.name for a in columns),
+                        far_role.player,
+                    )
+                )
+            if schema.is_unique(RoleId(fact.name, far_role.name)):
+                pending_candidates.append(
+                    CandidateKey(
+                        f"NK_{object_type.name}_{far_role.name}",
+                        relation=object_type.name,
+                        columns=tuple(a.name for a in columns),
+                    )
+                )
+        for sublink in schema.sublinks_from(object_type.name):
+            columns = make_columns(taken, sublink.supertype, sublink.name, False)
+            attributes.extend(columns)
+            pending_fks.append(
+                (
+                    object_type.name,
+                    tuple(a.name for a in columns),
+                    sublink.supertype,
+                )
+            )
+        rschema.add_relation(Relation(object_type.name, tuple(attributes)))
+        pk_of[object_type.name] = tuple(a.name for a in key_attributes)
+        rschema.add_constraint(
+            PrimaryKey(
+                f"PK_{object_type.name}",
+                relation=object_type.name,
+                columns=pk_of[object_type.name],
+            )
+        )
+
+    # Step 3: a two-attribute relation per many-to-many fact type.
+    for fact in schema.fact_types:
+        first_id, second_id = fact.role_ids
+        if schema.is_unique(first_id) or schema.is_unique(second_id):
+            continue
+        taken = set()
+        attributes = []
+        for role in fact.roles:
+            columns = make_columns(taken, role.player, role.name, False)
+            attributes.extend(columns)
+            if schema.object_type(role.player).kind is ObjectKind.NOLOT:
+                pending_fks.append(
+                    (
+                        f"{fact.name}_rel",
+                        tuple(a.name for a in columns),
+                        role.player,
+                    )
+                )
+        relation_name = f"{fact.name}_rel"
+        rschema.add_relation(Relation(relation_name, tuple(attributes)))
+        rschema.add_constraint(
+            PrimaryKey(
+                f"PK_{relation_name}",
+                relation=relation_name,
+                columns=tuple(a.name for a in attributes),
+            )
+        )
+
+    # Step 5 (the conserved part): candidate keys and foreign keys.
+    for candidate in pending_candidates:
+        if not rschema.has_constraint(candidate.name):
+            rschema.add_constraint(candidate)
+    for number, (relation_name, columns, target) in enumerate(pending_fks):
+        if target not in pk_of or len(pk_of[target]) != len(columns):
+            continue
+        rschema.add_constraint(
+            ForeignKey(
+                f"FK_{relation_name}_{number}",
+                relation=relation_name,
+                columns=columns,
+                referenced_relation=target,
+                referenced_columns=pk_of[target],
+            )
+        )
+    return rschema

@@ -1,0 +1,85 @@
+"""Attribute, relation, domain and constraint naming.
+
+The paper's generated schemas follow recognizable conventions —
+``Title_of``, ``Person_presenting``, ``Date_of_submission`` (target
+type plus far-role name), ``Paper_ProgramId`` (bare LOT name for a
+key in its own relation), ``Paper_ProgramId_Is`` (LOT name plus the
+sublink), ``Paper_ProgramId_with`` (LOT name plus near-role when an
+*identifier* fact is absorbed into another relation), and constraint
+names in the ``C_KEY$_11`` / ``C_FKEY$_8`` / ``C_EQ$_3`` / ``C_DE$_8``
+/ ``C_EE$_6`` style.  This module centralizes those rules, including
+collision handling.
+"""
+
+from __future__ import annotations
+
+from repro.brm.reference import LexicalLeaf
+
+
+def domain_name(lot_name: str) -> str:
+    """The domain derived from a LOT: ``D_<lot>`` (rendered as
+    ``D Paper_ProgramId`` in the paper's listing style)."""
+    return f"D_{lot_name}"
+
+
+def key_column_name(leaf: LexicalLeaf, owner: str) -> str:
+    """A key column in the owner's own relation: the bare LOT name.
+
+    Legs of a compound reference keep their own LOT names; two legs
+    ending in the same LOT are disambiguated by the relation draft.
+    """
+    return leaf.lot
+
+
+def fact_column_name(
+    target_display: str, far_role: str, near_role: str, *, is_reference: bool
+) -> str:
+    """A non-key column derived from a functional fact.
+
+    Regular facts use ``<Target>_<far_role>`` (``Title_of``,
+    ``Person_presenting``); absorbed identifier facts use the near
+    role instead (``Paper_ProgramId_with``), as in the paper's
+    Alternative 4.
+    """
+    if is_reference:
+        return f"{target_display}_{near_role}"
+    return f"{target_display}_{far_role}"
+
+
+def sublink_column_name(leaf: LexicalLeaf) -> str:
+    """The sublink attribute in the super-relation:
+    ``<LOT>_Is`` (``Paper_ProgramId_Is``)."""
+    return f"{leaf.lot}_Is"
+
+
+def indicator_names(subtype: str) -> tuple[str, str, str]:
+    """(LOT name, fact name, role names are fixed) for a subtype
+    membership indicator: the paper's ``Is_Invited_Paper`` column."""
+    flag = f"Is_{subtype}"
+    return flag, f"{flag}_fact", "marked"
+
+
+def satellite_relation_name(owner: str, fact: str) -> str:
+    """A satellite relation split out under NULL NOT ALLOWED."""
+    return f"{owner}_{fact}"
+
+
+def disambiguate(name: str, taken: set[str]) -> str:
+    """Make ``name`` unique among ``taken`` by numeric suffixing."""
+    if name not in taken:
+        return name
+    counter = 2
+    while f"{name}_{counter}" in taken:
+        counter += 1
+    return f"{name}_{counter}"
+
+
+# Constraint-name stems, in the paper's spelling.
+KEY_STEM = "C_KEY$"
+FOREIGN_KEY_STEM = "C_FKEY$"
+EQUALITY_VIEW_STEM = "C_EQ$"
+SUBSET_VIEW_STEM = "C_SUB$"
+DEPENDENT_EXISTENCE_STEM = "C_DE$"
+EQUAL_EXISTENCE_STEM = "C_EE$"
+CHECK_STEM = "C_CHK$"
+VALUE_STEM = "C_VAL$"

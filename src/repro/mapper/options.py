@@ -1,0 +1,103 @@
+"""The mapping options of section 4.2.
+
+"The transformation process can be influenced by the database
+engineer ... by exercising a number of *mapping options* that trigger
+the rules which influence the mapping process" (section 4.2).  The
+five option families of the paper:
+
+1. control on the admissibility of null values (:class:`NullPolicy`),
+2. the mapping of sublink types (:class:`SublinkPolicy`, a global
+   option with per-sublink exceptions),
+3. the choice of lexical representations per NOLOT,
+4. the decision whether to combine tables,
+5. when and how to omit certain tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class NullPolicy(Enum):
+    """Section 4.2.1 — admissibility of null values in attributes."""
+
+    #: Nulls forbidden in primary keys only ("Entity Integrity Rule");
+    #: elsewhere admissible where the binary constraints allow.
+    DEFAULT = "DEFAULT"
+    #: "NULL NOT ALLOWED" — no attribute may be null; optional facts
+    #: are split into satellite tables (grouped by role equality), so
+    #: "a large number of small tables will in general be generated".
+    NOT_ALLOWED = "NULL NOT ALLOWED"
+    #: "NULL NOT IN KEYS" — no nulls in primary *or candidate* keys;
+    #: optional alternate identifiers are split out.
+    NOT_IN_KEYS = "NULL NOT ALLOWED IN KEYS"
+    #: "NULL ALLOWED" — nulls even in primary keys, to support NOLOTs
+    #: with a non-homogeneous lexical representation (two or more
+    #: candidate keys, no single total one).
+    ALLOWED = "NULL ALLOWED"
+
+
+class SublinkPolicy(Enum):
+    """Section 4.2.2 — how a sublink type is transformed."""
+
+    #: "SUBOT & SUPOT SEPARATE" (default, strong typing): one
+    #: sub-relation and one super-relation, linked by a foreign key.
+    SEPARATE = "SUBOT & SUPOT SEPARATE"
+    #: "SUBOT & SUPOT TOGETHER": all fact types of subtype and
+    #: supertype grouped into one relation.
+    TOGETHER = "SUBOT & SUPOT TOGETHER"
+    #: "SUBOT INDICATOR FOR SUPOT": grouping as for SEPARATE, plus an
+    #: indicator attribute on the super-relation, controlled by a
+    #: conditional equality constraint.
+    INDICATOR = "SUBOT INDICATOR FOR SUPOT"
+
+
+@dataclass(frozen=True)
+class MappingOptions:
+    """Everything the database engineer can turn and twist.
+
+    ``sublink_overrides`` maps sublink names to policies, overriding
+    the global ``sublink_policy`` ("the selected option holds for all
+    the sublink types of the binary schema, but may be overridden for
+    chosen individual sublink types").
+
+    ``lexical_preferences`` maps NOLOT names to reference-scheme keys
+    (see :attr:`repro.brm.ReferenceScheme.key`), overriding the
+    default smallest-representation choice.
+
+    ``combine_tables`` lists ``(relation_a, relation_b)`` pairs to be
+    joined into one relation when they are 1:1-related on their keys
+    (mapping option 4).  ``omit_tables`` lists relation names to drop
+    from the output, with subset lossless rules recorded (option 5).
+
+    ``scope`` restricts the mapping to a subset of the schema's
+    object types ("takes all or part of the binary schema", section
+    3.3): only fact types and sublinks between in-scope types are
+    mapped.
+    """
+
+    null_policy: NullPolicy = NullPolicy.DEFAULT
+    sublink_policy: SublinkPolicy = SublinkPolicy.SEPARATE
+    sublink_overrides: tuple[tuple[str, SublinkPolicy], ...] = ()
+    lexical_preferences: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    combine_tables: tuple[tuple[str, str], ...] = ()
+    omit_tables: tuple[str, ...] = ()
+    scope: tuple[str, ...] | None = None
+
+    def policy_for(self, sublink_name: str) -> SublinkPolicy:
+        """The effective policy for one sublink type."""
+        for name, policy in self.sublink_overrides:
+            if name == sublink_name:
+                return policy
+        return self.sublink_policy
+
+    def preferences_dict(self) -> dict[str, tuple[str, ...]]:
+        """Lexical preferences as the dict the resolver expects."""
+        return {name: key for name, key in self.lexical_preferences}
+
+    def with_overrides(self, **overrides: object) -> "MappingOptions":
+        """A copy with some fields replaced (convenience for sweeps)."""
+        from dataclasses import replace
+
+        return replace(self, **overrides)  # type: ignore[arg-type]

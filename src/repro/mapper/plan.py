@@ -1,0 +1,153 @@
+"""Column and relation plans — the mapper's working representation.
+
+A :class:`RelationPlan` describes one relation of the generic
+relational schema *together with the recipe* for computing its rows
+from a binary-schema population.  The recipes (:class:`ColumnSource`
+variants) are what make the composite schema transformation a real
+state mapping: the forward population-to-database function
+(:mod:`repro.mapper.state_map`) is a direct interpretation of the
+plans, and the backwards function inverts them.
+
+Plans also carry the provenance every map report needs: each column
+knows the fact/role/sublink it was derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.brm.datatypes import DataType
+from repro.brm.reference import LexicalLeaf
+
+
+@dataclass(frozen=True)
+class ColumnSource:
+    """Base class for column value recipes."""
+
+
+@dataclass(frozen=True)
+class SelfLeaf(ColumnSource):
+    """A key column of the owner's relation: one lexical leg of the
+    owner's reference scheme, followed from the instance itself."""
+
+    owner: str
+    leaf: LexicalLeaf
+
+
+@dataclass(frozen=True)
+class FactLeaf(ColumnSource):
+    """A column derived from a functional fact of the owner.
+
+    The owner plays ``near_role`` in ``fact``; the value is the
+    co-filler's lexical leg ``leaf`` (empty path when the co-player is
+    itself lexical).
+    """
+
+    owner: str
+    fact: str
+    near_role: str
+    far_role: str
+    leaf: LexicalLeaf
+
+
+@dataclass(frozen=True)
+class SublinkLeaf(ColumnSource):
+    """The sublink attribute stored in the super-relation
+    (``Paper_ProgramId_Is``): the subtype's own reference leg,
+    followed from the instance when it is a member of the subtype,
+    NULL otherwise."""
+
+    sublink: str
+    subtype: str
+    supertype: str
+    leaf: LexicalLeaf
+
+
+@dataclass(frozen=True)
+class DisjunctLeaf(ColumnSource):
+    """One leg of a *non-homogeneous* reference (NULL ALLOWED policy):
+
+    the owner is identified by whichever of several 1:1 facts happens
+    to be present; this column is one lexical leg of the scheme
+    through ``fact``."""
+
+    owner: str
+    fact: str
+    near_role: str
+    far_role: str
+    leaf: LexicalLeaf
+    group_index: int
+
+
+@dataclass(frozen=True)
+class ColumnUnit:
+    """One column: name, domain, nullability and value recipe."""
+
+    name: str
+    domain_name: str
+    datatype: DataType
+    nullable: bool
+    source: ColumnSource
+
+
+@dataclass(frozen=True)
+class Membership:
+    """Which population members contribute a row to a relation."""
+
+
+@dataclass(frozen=True)
+class AllInstances(Membership):
+    """One row per instance of the owner type (anchor relations)."""
+
+    owner: str
+
+
+@dataclass(frozen=True)
+class RolePlayers(Membership):
+    """One row per instance playing a role (satellite relations under
+    the NULL NOT ALLOWED policy)."""
+
+    owner: str
+    fact: str
+    near_role: str
+
+
+@dataclass(frozen=True)
+class FactPairs(Membership):
+    """One row per fact instance (many-to-many fact relations)."""
+
+    fact: str
+
+
+@dataclass(frozen=True)
+class RelationPlan:
+    """A relation plus the recipe for its rows.
+
+    ``kind`` is ``"anchor"`` (one per object type with functional
+    facts), ``"satellite"`` (split-out optional facts) or
+    ``"fact"`` (many-to-many fact relations).  ``key_columns`` are the
+    primary-key column names.
+    """
+
+    relation: str
+    kind: str
+    owner: str | None
+    membership: Membership
+    columns: tuple[ColumnUnit, ...]
+    key_columns: tuple[str, ...]
+
+    def column(self, name: str) -> ColumnUnit:
+        """The column unit with the given name."""
+        for unit in self.columns:
+            if unit.name == name:
+                return unit
+        raise KeyError(f"plan for {self.relation!r} has no column {name!r}")
+
+    def columns_for_fact(self, fact_name: str) -> list[ColumnUnit]:
+        """All columns derived from one fact type."""
+        return [
+            unit
+            for unit in self.columns
+            if isinstance(unit.source, (FactLeaf, DisjunctLeaf))
+            and unit.source.fact == fact_name
+        ]

@@ -1,0 +1,222 @@
+"""Plan-level relational-to-relational options: combine and omit.
+
+Mapping options 4 and 5 of section 4.2: "the decision whether to
+combine tables" and "when and how to omit certain tables".  Both are
+applied to the relation *plans* before materialization so that the
+state mapping stays coherent with the final schema.
+
+Combining is the join transformation the paper cites from Ullman:
+joining a sub-relation (or satellite) back into the relation holding
+its key, with equal-existence/dependent-existence lossless rules
+replacing the foreign key.  Omission drops a relation and records
+what was given up as a pseudo constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.brm.facts import RoleId
+from repro.errors import MappingError
+from repro.mapper.plan import FactLeaf, RelationPlan, SelfLeaf, SublinkLeaf
+from repro.mapper.state import MappingState
+from repro.mapper.synthesis import MappingPlan, RoleLocation
+from repro.mapper.trace import PseudoConstraint
+
+
+def apply_combines(state: MappingState, plan: MappingPlan) -> None:
+    """Join the requested relation pairs (mapping option 4)."""
+    for target_name, source_name in state.options.combine_tables:
+        _combine_pair(state, plan, target_name, source_name)
+
+
+def _combine_pair(
+    state: MappingState, plan: MappingPlan, target_name: str, source_name: str
+) -> None:
+    if target_name not in plan.plans:
+        raise MappingError(f"combine: no relation {target_name!r}")
+    if source_name not in plan.plans:
+        raise MappingError(f"combine: no relation {source_name!r}")
+    target = plan.plans[target_name]
+    source = plan.plans[source_name]
+    if target.kind != "anchor":
+        raise MappingError(
+            f"combine: target {target_name!r} must be an anchor relation"
+        )
+    if source.kind not in ("anchor", "satellite"):
+        raise MappingError(
+            f"combine: source {source_name!r} must be an anchor or "
+            "satellite relation"
+        )
+    if any(isinstance(u.source, SublinkLeaf) for u in source.columns):
+        raise MappingError(
+            f"combine: {source_name!r} stores sublink attributes of its "
+            "own; combine those sublinks first"
+        )
+    source_key_legs = [
+        u.source.leaf.lot
+        for u in source.columns
+        if isinstance(u.source, SelfLeaf)
+    ]
+    target_key_legs = [
+        u.source.leaf.lot
+        for u in target.columns
+        if isinstance(u.source, SelfLeaf)
+    ]
+    if source_key_legs != target_key_legs:
+        raise MappingError(
+            f"combine: {source_name!r} and {target_name!r} are not keyed "
+            "by the same reference; a lossless join needs matching keys"
+        )
+
+    moved = [
+        u for u in source.columns if isinstance(u.source, FactLeaf)
+    ]
+    taken = {u.name for u in target.columns}
+    renames: dict[str, str] = {}
+    new_units = []
+    for unit in moved:
+        from repro.mapper.naming import disambiguate
+
+        new_name = disambiguate(unit.name, taken)
+        taken.add(new_name)
+        renames[unit.name] = new_name
+        new_units.append(replace(unit, name=new_name, nullable=True))
+
+    if source.kind == "anchor" and not any(
+        not unit.nullable for unit in moved
+    ):
+        raise MappingError(
+            f"combine: subtype relation {source_name!r} has no mandatory "
+            "fact column; its membership would become unobservable — use "
+            "the INDICATOR sublink option instead"
+        )
+
+    plan.plans[target_name] = RelationPlan(
+        relation=target.relation,
+        kind=target.kind,
+        owner=target.owner,
+        membership=target.membership,
+        columns=target.columns + tuple(new_units),
+        key_columns=target.key_columns,
+    )
+    del plan.plans[source_name]
+
+    # Re-locate the moved roles: presence is now column non-NULLness.
+    value_columns_by_fact: dict[str, tuple[str, ...]] = {}
+    for unit in moved:
+        fact_name = unit.source.fact
+        value_columns_by_fact[fact_name] = value_columns_by_fact.get(
+            fact_name, ()
+        ) + (renames[unit.name],)
+    for role_id, location in list(plan.role_locations.items()):
+        if location.relation != source_name:
+            continue
+        fact_columns = value_columns_by_fact.get(role_id.fact, ())
+        if set(location.columns) <= set(renames):
+            columns = tuple(renames[c] for c in location.columns)
+        else:
+            columns = target.key_columns
+        plan.role_locations[role_id] = RoleLocation(
+            target_name, columns, fact_columns
+        )
+    # Sublink representations pointing at the source lose their
+    # sub-relation (membership is now carried by the moved columns).
+    for name, repr_ in list(plan.sublink_reprs.items()):
+        if repr_.sub_relation == source_name:
+            plan.sublink_reprs[name] = replace(repr_, sub_relation=None)
+    for type_name, anchor in list(plan.anchor_of.items()):
+        if anchor == source_name:
+            del plan.anchor_of[type_name]
+
+    lossless = ()
+    if source.kind == "anchor" and source.owner is not None:
+        lossless = _membership_lossless_rules(state, plan, source, moved)
+
+    state.record(
+        "combine-tables",
+        "relational-relational",
+        f"{target_name}+{source_name}",
+        f"joined {source_name!r} into {target_name!r}; moved columns "
+        f"{sorted(renames.values())!r} became nullable",
+        lossless,
+    )
+
+
+def _membership_lossless_rules(
+    state: MappingState, plan: MappingPlan, source: RelationPlan, moved: list
+) -> tuple[str, ...]:
+    """Binary lossless rules for a merged subtype relation.
+
+    The subtype's former NOT NULL columns carry its membership; tying
+    them with role equality (and its optional columns with role
+    subsets) makes the join lossless — materialization turns these
+    into the C_EE$ / C_DE$ checks of the paper's Alternative 4.
+    """
+    from repro.brm.constraints import EqualityConstraint, SubsetConstraint
+
+    schema = plan.schema
+    owner = source.owner
+    total_roles = []
+    optional_roles = []
+    for unit in moved:
+        role_id = RoleId(unit.source.fact, unit.source.near_role)
+        bucket = total_roles if not unit.nullable else optional_roles
+        if role_id not in bucket:
+            bucket.append(role_id)
+    names = []
+    if len(total_roles) > 1:
+        name = schema.fresh_name(f"LL_EE_{owner}")
+        schema.add_constraint(EqualityConstraint(name, items=tuple(total_roles)))
+        names.append(name)
+    anchor = total_roles[0]
+    for role_id in optional_roles:
+        if any(
+            c.subset == role_id and c.superset == anchor
+            for c in schema.subsets()
+        ):
+            continue
+        name = schema.fresh_name(f"LL_DE_{owner}")
+        schema.add_constraint(
+            SubsetConstraint(name, subset=role_id, superset=anchor)
+        )
+        names.append(name)
+    return tuple(names)
+
+
+def apply_omissions(state: MappingState, plan: MappingPlan) -> None:
+    """Drop the requested relations (mapping option 5)."""
+    for relation_name in state.options.omit_tables:
+        if relation_name not in plan.plans:
+            raise MappingError(f"omit: no relation {relation_name!r}")
+        omitted = plan.plans.pop(relation_name)
+        for role_id, location in list(plan.role_locations.items()):
+            if location.relation == relation_name:
+                del plan.role_locations[role_id]
+        for name, repr_ in list(plan.sublink_reprs.items()):
+            if repr_.sub_relation == relation_name:
+                plan.sublink_reprs[name] = replace(repr_, sub_relation=None)
+        for type_name, anchor in list(plan.anchor_of.items()):
+            if anchor == relation_name:
+                del plan.anchor_of[type_name]
+        facts_lost = sorted(
+            {
+                u.source.fact
+                for u in omitted.columns
+                if hasattr(u.source, "fact")
+            }
+        )
+        state.pseudo_constraints.append(
+            PseudoConstraint(
+                f"OMITTED${relation_name}",
+                f"table {relation_name!r} omitted by mapping option; "
+                f"facts {facts_lost!r} are not stored in the data schema",
+                tuple(facts_lost),
+            )
+        )
+        state.record(
+            "omit-table",
+            "relational-relational",
+            relation_name,
+            f"table omitted; facts {facts_lost!r} left unstored",
+        )

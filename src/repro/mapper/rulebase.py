@@ -1,0 +1,104 @@
+"""The rule base driving the transformation engine (figure 5).
+
+"We are now able to 'drive' the composition of these basic
+transformations by rules specified externally to the algorithm.  In
+this way external control may ultimately influence the transformation
+process nearly without limitations.  Currently a limited number of
+these rules are built in and externalized as options" (section 4.1).
+
+A :class:`Rule` pairs a guard over the :class:`MappingState` with an
+action (a basic transformation).  The engine fires the first
+applicable rule until quiescence; the default rule base realizes the
+paper's built-in behaviour, and callers may append their own expert
+rules (the "later implementation" the paper sketches, where rules are
+extracted from functional requirements).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import MappingError
+from repro.mapper.state import MappingState
+from repro.mapper.transformations.binary_binary import (
+    apply_sublink_policies,
+    canonicalize_constraints,
+    restrict_scope,
+)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One externally specified transformation rule."""
+
+    name: str
+    when: Callable[[MappingState], bool]
+    action: Callable[[MappingState], None]
+
+    def fire(self, state: MappingState) -> None:
+        """Apply the action and mark the rule as fired."""
+        self.action(state)
+        state.flags.add(f"fired:{self.name}")
+
+
+def _once(name: str, condition: Callable[[MappingState], bool] | None = None):
+    """Guard: fire at most once, optionally under a condition."""
+
+    def when(state: MappingState) -> bool:
+        if f"fired:{name}" in state.flags:
+            return False
+        return condition is None or condition(state)
+
+    return when
+
+
+def default_rule_base() -> list[Rule]:
+    """The built-in rules, in firing order."""
+    return [
+        Rule("restrict-scope", _once("restrict-scope"), restrict_scope),
+        Rule(
+            "canonicalize",
+            _once("canonicalize"),
+            canonicalize_constraints,
+        ),
+        Rule(
+            "sublink-options",
+            _once("sublink-options"),
+            apply_sublink_policies,
+        ),
+    ]
+
+
+class TransformationEngine:
+    """Fires rules over the mapping state until quiescence."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rule_base()
+
+    def add_rule(self, rule: Rule, *, before: str | None = None) -> None:
+        """Insert an expert rule, optionally before a named rule."""
+        if before is None:
+            self.rules.append(rule)
+            return
+        for position, existing in enumerate(self.rules):
+            if existing.name == before:
+                self.rules.insert(position, rule)
+                return
+        raise MappingError(f"no rule named {before!r} in the rule base")
+
+    def run(self, state: MappingState, *, max_firings: int = 1000) -> None:
+        """Fire applicable rules in order until none applies."""
+        firings = 0
+        while firings < max_firings:
+            for rule in self.rules:
+                if rule.when(state):
+                    rule.fire(state)
+                    firings += 1
+                    break
+            else:
+                return
+        raise MappingError(
+            f"rule base did not quiesce after {max_firings} firings; "
+            "check rule guards for progress"
+        )

@@ -1,0 +1,101 @@
+"""The mutable working state of a mapping session.
+
+The transformation engine (fig. 5 of the paper) threads one
+:class:`MappingState` through the rule base: the working binary
+schema being canonicalized, the options, the audit trail of applied
+steps, the composed population maps of the binary-to-binary phase,
+and the hints the binary phase leaves for the relational synthesis
+(column-name overrides, indicator bookkeeping, elimination records).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.brm.facts import RoleId
+from repro.brm.population import Population
+from repro.brm.schema import BinarySchema
+from repro.mapper.options import MappingOptions
+from repro.mapper.trace import AppliedStep, PseudoConstraint
+
+PopulationMap = Callable[[Population], Population]
+
+
+@dataclass(frozen=True)
+class EliminationRecord:
+    """Bookkeeping for one TOGETHER-eliminated sublink.
+
+    ``anchor`` is a (former) total role of the subtype whose
+    population equals the subtype membership after elimination;
+    ``indicator_fact`` is the synthesized membership fact when the
+    subtype had no total role; ``moved_roles`` are the subtype's
+    former roles, now played by the supertype.
+    """
+
+    sublink: str
+    subtype: str
+    supertype: str
+    anchor: RoleId | None
+    indicator_fact: str | None
+    moved_roles: tuple[RoleId, ...]
+
+
+@dataclass
+class SynthesisHints:
+    """Instructions the binary phase leaves for the synthesis phase."""
+
+    #: (fact name, far role name) -> forced column name
+    column_overrides: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: sublink name -> indicator fact name (INDICATOR policy)
+    indicator_sublinks: dict[str, str] = field(default_factory=dict)
+    #: sublink name -> elimination record (TOGETHER policy)
+    eliminations: dict[str, EliminationRecord] = field(default_factory=dict)
+
+
+@dataclass
+class MappingState:
+    """Everything a rule may inspect or transform."""
+
+    schema: BinarySchema
+    options: MappingOptions
+    original: BinarySchema
+    steps: list[AppliedStep] = field(default_factory=list)
+    forward_maps: list[PopulationMap] = field(default_factory=list)
+    backward_maps: list[PopulationMap] = field(default_factory=list)
+    hints: SynthesisHints = field(default_factory=SynthesisHints)
+    pseudo_constraints: list[PseudoConstraint] = field(default_factory=list)
+    flags: set[str] = field(default_factory=set)
+
+    def record(
+        self,
+        transformation: str,
+        kind: str,
+        target: str,
+        detail: str,
+        lossless_rules: tuple[str, ...] = (),
+    ) -> None:
+        """Append one applied step to the audit trail."""
+        self.steps.append(
+            AppliedStep(transformation, kind, target, detail, lossless_rules)
+        )
+
+    def add_population_maps(
+        self, forward: PopulationMap, backward: PopulationMap
+    ) -> None:
+        """Register the state maps of one binary-to-binary step."""
+        self.forward_maps.append(forward)
+        self.backward_maps.append(backward)
+
+    def to_canonical(self, population: Population) -> Population:
+        """Map a population of the (scoped) original schema forward
+        through all binary-to-binary steps."""
+        for mapping in self.forward_maps:
+            population = mapping(population)
+        return population
+
+    def from_canonical(self, population: Population) -> Population:
+        """Map a canonical-schema population back to the original."""
+        for mapping in reversed(self.backward_maps):
+            population = mapping(population)
+        return population

@@ -1,0 +1,497 @@
+"""The composite state mapping g : STATES(S1) -> STATES(S2).
+
+Definition 1 of the paper: a schema transformation maps every
+database state of the source schema to exactly one state of the
+target schema; Definition 2: it is *lossless* when it is a bijection.
+RIDL-M's composite transformation is made lossless by the generated
+constraints ("lossless rules"); this module implements both
+directions concretely so the test suite can verify the bijection
+empirically:
+
+* :meth:`RelationalStateMap.forward` — interpret the relation plans
+  over a population of the canonical binary schema, producing a
+  :class:`~repro.engine.database.Database`;
+* :meth:`RelationalStateMap.backward` — reconstruct the canonical
+  population from a database state, resolving own-identifier subtypes
+  through the sublink attributes of their super-relations.
+
+Instances of non-lexical object types are abstract; the bijection is
+exact on *canonical* populations, where each instance is named by its
+lexical reference values (:func:`canonicalize_population`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.brm.facts import RoleId
+from repro.brm.population import Population
+from repro.brm.reference import LexicalLeaf
+from repro.engine.database import Database
+from repro.errors import MappingError
+from repro.mapper.plan import (
+    AllInstances,
+    DisjunctLeaf,
+    FactLeaf,
+    FactPairs,
+    RelationPlan,
+    RolePlayers,
+    SelfLeaf,
+    SublinkLeaf,
+)
+from repro.mapper.synthesis import MappingPlan, PairLeaf
+from repro.relational.schema import RelationalSchema
+
+Instance = Hashable
+
+
+def _canon(values: tuple[Instance, ...]) -> Instance:
+    """The canonical instance named by a tuple of lexical values."""
+    if len(values) == 1:
+        return values[0]
+    return values
+
+
+def _follow(
+    population: Population, instance: Instance, path: tuple
+) -> Instance | None:
+    """Follow a lexical leg's component chain from an instance."""
+    current = instance
+    for component in path:
+        fillers = population.facts_of(
+            component.fact, component.near_role, current
+        )
+        if not fillers:
+            return None
+        current = sorted(fillers, key=repr)[0]
+    return current
+
+
+class RelationalStateMap:
+    """Both directions of the composite mapping, plan-driven."""
+
+    def __init__(self, plan: MappingPlan, rschema: RelationalSchema) -> None:
+        self.plan = plan
+        self.rschema = rschema
+        #: subtypes whose anchor key is their own (non-inherited) id
+        self._own_ref_subtypes = {
+            repr_.subtype
+            for repr_ in plan.sublink_reprs.values()
+            if repr_.style == "is-columns"
+        }
+        # A type whose chosen reference is inherited from an
+        # own-identifier subtype resolves instances through that
+        # subtype's `_Is` index (same lexical legs).
+        self._delegate: dict[str, str] = {}
+        for object_type in plan.schema.object_types:
+            name = object_type.name
+            current = name
+            seen = set()
+            while current not in seen:
+                seen.add(current)
+                if current in self._own_ref_subtypes:
+                    self._delegate[name] = current
+                    break
+                if current in plan.disjunctive or not (
+                    plan.resolver.is_referable(current)
+                ):
+                    break
+                scheme = plan.resolver.chosen_scheme(current)
+                if scheme.kind != "inherited":
+                    break
+                current = plan.schema.sublink(scheme.via_sublink).supertype
+
+    # ------------------------------------------------------------------
+    # Forward: population -> database
+    # ------------------------------------------------------------------
+
+    def forward(self, population: Population) -> Database:
+        """The database state corresponding to a binary population."""
+        database = Database(self.rschema)
+        for relation_plan in self.plan.plans.values():
+            if not self.rschema.has_relation(relation_plan.relation):
+                continue  # omitted by a relational-relational option
+            for row in self._rows_for(population, relation_plan):
+                database.insert(relation_plan.relation, row)
+        return database
+
+    def _rows_for(self, population: Population, relation_plan: RelationPlan):
+        membership = relation_plan.membership
+        if isinstance(membership, AllInstances):
+            for instance in sorted(
+                population.instances(membership.owner), key=repr
+            ):
+                yield self._instance_row(population, relation_plan, instance)
+        elif isinstance(membership, RolePlayers):
+            players = population.role_population(
+                RoleId(membership.fact, membership.near_role)
+            )
+            for instance in sorted(players, key=repr):
+                yield self._instance_row(population, relation_plan, instance)
+        elif isinstance(membership, FactPairs):
+            for first, second in sorted(
+                population.fact_instances(membership.fact), key=repr
+            ):
+                yield self._pair_row(population, relation_plan, first, second)
+
+    def _instance_row(
+        self,
+        population: Population,
+        relation_plan: RelationPlan,
+        instance: Instance,
+    ) -> dict[str, object]:
+        row: dict[str, object] = {}
+        for unit in relation_plan.columns:
+            source = unit.source
+            if isinstance(source, SelfLeaf):
+                row[unit.name] = _follow(population, instance, source.leaf.path)
+            elif isinstance(source, (FactLeaf, DisjunctLeaf)):
+                fillers = population.facts_of(
+                    source.fact, source.near_role, instance
+                )
+                if not fillers:
+                    row[unit.name] = None
+                else:
+                    filler = sorted(fillers, key=repr)[0]
+                    row[unit.name] = _follow(population, filler, source.leaf.path)
+            elif isinstance(source, SublinkLeaf):
+                if instance in population.instances(source.subtype):
+                    row[unit.name] = _follow(
+                        population, instance, source.leaf.path
+                    )
+                else:
+                    row[unit.name] = None
+        return row
+
+    def _pair_row(
+        self,
+        population: Population,
+        relation_plan: RelationPlan,
+        first: Instance,
+        second: Instance,
+    ) -> dict[str, object]:
+        row: dict[str, object] = {}
+        for unit in relation_plan.columns:
+            source = unit.source
+            if isinstance(source, PairLeaf):
+                base = first if source.side == 0 else second
+                row[unit.name] = _follow(population, base, source.leaf.path)
+        return row
+
+    # ------------------------------------------------------------------
+    # Backward: database -> canonical population
+    # ------------------------------------------------------------------
+
+    def backward(self, database: Database) -> Population:
+        """The canonical population corresponding to a database state."""
+        population = Population(self.plan.schema)
+        index: dict[tuple[str, tuple], Instance] = {}
+
+        anchors = [p for p in self.plan.plans.values() if p.kind == "anchor"]
+        others = [p for p in self.plan.plans.values() if p.kind != "anchor"]
+
+        # Pass 1a: anchor instances, reference chains, sublink columns
+        # (builds the own-identifier resolution index top-down).
+        rows_cache: dict[str, list[tuple[dict, Instance]]] = {}
+        for relation_plan in anchors:
+            if not self.rschema.has_relation(relation_plan.relation):
+                continue
+            cached = []
+            for row in database.rows(relation_plan.relation):
+                instance = self._materialize_instance(
+                    population, index, relation_plan, row
+                )
+                cached.append((row, instance))
+            rows_cache[relation_plan.relation] = cached
+
+        # Pass 1b: functional fact columns of the anchors.
+        for relation_plan in anchors:
+            for row, instance in rows_cache.get(relation_plan.relation, ()):
+                self._materialize_fact_columns(
+                    population, index, relation_plan, row, instance
+                )
+
+        # Pass 2: satellites and fact relations.
+        for relation_plan in others:
+            if not self.rschema.has_relation(relation_plan.relation):
+                continue
+            for row in database.rows(relation_plan.relation):
+                if isinstance(relation_plan.membership, RolePlayers):
+                    self._materialize_satellite_row(
+                        population, index, relation_plan, row
+                    )
+                elif isinstance(relation_plan.membership, FactPairs):
+                    self._materialize_pair_row(
+                        population, index, relation_plan, row
+                    )
+
+        # Pass 3: subtype membership carried only by an indicator fact
+        # (INDICATOR policy with an omitted factless sub-relation).
+        for repr_ in self.plan.sublink_reprs.values():
+            if repr_.sub_relation is not None or repr_.indicator_fact is None:
+                continue
+            for first, second in population.fact_instances(
+                repr_.indicator_fact
+            ):
+                if second == "Y":
+                    population.add_instance(repr_.subtype, first)
+        return population
+
+    # -- pass 1a -------------------------------------------------------
+
+    def _materialize_instance(
+        self,
+        population: Population,
+        index: dict,
+        relation_plan: RelationPlan,
+        row: dict,
+    ) -> Instance:
+        owner = relation_plan.owner
+        assert owner is not None
+        if owner in self.plan.disjunctive:
+            disjunct_units = [
+                u for u in relation_plan.columns
+                if isinstance(u.source, DisjunctLeaf)
+            ]
+            values = tuple(row.get(u.name) for u in disjunct_units)
+            instance = values  # full tuple including absent groups
+            population.add_instance(owner, instance)
+            return instance
+        key_values = tuple(row.get(c) for c in relation_plan.key_columns)
+        instance = self._resolve(index, owner, key_values)
+        population.add_instance(owner, instance)
+        # Reconstruct the owner's reference-fact chain.
+        self_legs = [
+            (u.source.leaf, row.get(u.name))
+            for u in relation_plan.columns
+            if isinstance(u.source, SelfLeaf) and u.source.leaf.path
+        ]
+        self._reconstruct_chain(population, index, owner, instance, self_legs)
+        # Sublink columns: membership plus the subtype's own reference.
+        sublink_legs: dict[str, list[tuple[LexicalLeaf, object]]] = {}
+        for unit in relation_plan.columns:
+            if isinstance(unit.source, SublinkLeaf):
+                sublink_legs.setdefault(unit.source.sublink, []).append(
+                    (unit.source.leaf, row.get(unit.name))
+                )
+        for sublink_name, legs in sublink_legs.items():
+            values = tuple(value for _, value in legs)
+            if any(value is None for value in values):
+                continue
+            subtype = self.plan.sublink_reprs[sublink_name].subtype
+            population.add_instance(subtype, instance)
+            index[(subtype, values)] = instance
+            self._reconstruct_chain(
+                population,
+                index,
+                subtype,
+                instance,
+                [(leaf, value) for (leaf, value) in legs if leaf.path],
+            )
+        return instance
+
+    def _resolve(
+        self, index: dict, type_name: str, values: tuple
+    ) -> Instance:
+        """An instance for reference values, via the sublink index for
+        (types keyed like) own-identifier subtypes."""
+        delegate = self._delegate.get(type_name)
+        if delegate is not None:
+            resolved = index.get((delegate, values))
+            if resolved is not None:
+                return resolved
+            # No matching super row (the C_EQ$ rule is violated);
+            # materialize a standalone instance so the defect stays
+            # observable rather than crashing.
+        return _canon(values)
+
+    def _reconstruct_chain(
+        self,
+        population: Population,
+        index: dict,
+        owner_type: str,
+        owner_instance: Instance,
+        legs: list,
+    ) -> None:
+        """Rebuild the reference-fact instances along leaf paths."""
+        groups: dict[object, list] = {}
+        for leaf, value in legs:
+            if value is None:
+                return  # incomplete reference; leave unreconstructed
+            groups.setdefault(leaf.path[0], []).append((leaf, value))
+        schema = self.plan.schema
+        for component, group in groups.items():
+            values = tuple(value for _, value in group)
+            target = self._resolve(index, component.target, values)
+            fact = schema.fact_type(component.fact)
+            if fact.first.name == component.near_role:
+                population.add_fact(component.fact, owner_instance, target)
+            else:
+                population.add_fact(component.fact, target, owner_instance)
+            deeper = [
+                (LexicalLeaf(leaf.path[1:], leaf.lot, leaf.datatype), value)
+                for leaf, value in group
+                if len(leaf.path) > 1
+            ]
+            if deeper:
+                self._reconstruct_chain(
+                    population, index, component.target, target, deeper
+                )
+
+    # -- pass 1b -------------------------------------------------------
+
+    def _materialize_fact_columns(
+        self,
+        population: Population,
+        index: dict,
+        relation_plan: RelationPlan,
+        row: dict,
+        instance: Instance,
+    ) -> None:
+        schema = self.plan.schema
+        fact_legs: dict[str, list] = {}
+        for unit in relation_plan.columns:
+            if isinstance(unit.source, (FactLeaf, DisjunctLeaf)):
+                fact_legs.setdefault(unit.source.fact, []).append(
+                    (unit.source, row.get(unit.name))
+                )
+        for fact_name, legs in fact_legs.items():
+            values = tuple(value for _, value in legs)
+            if any(value is None for value in values):
+                continue
+            source = legs[0][0]
+            fact = schema.fact_type(fact_name)
+            target_type = fact.player_of(source.far_role)
+            target = self._resolve(index, target_type, values)
+            if fact.first.name == source.near_role:
+                population.add_fact(fact_name, instance, target)
+            else:
+                population.add_fact(fact_name, target, instance)
+            deeper = [
+                (LexicalLeaf(s.leaf.path, s.leaf.lot, s.leaf.datatype), value)
+                for s, value in legs
+                if s.leaf.path
+            ]
+            if deeper:
+                self._reconstruct_chain(
+                    population, index, target_type, target, deeper
+                )
+
+    # -- pass 2 --------------------------------------------------------
+
+    def _materialize_satellite_row(
+        self,
+        population: Population,
+        index: dict,
+        relation_plan: RelationPlan,
+        row: dict,
+    ) -> None:
+        owner = relation_plan.owner
+        assert owner is not None
+        key_values = tuple(row.get(c) for c in relation_plan.key_columns)
+        instance = self._resolve(index, owner, key_values)
+        population.add_instance(owner, instance)
+        self._materialize_fact_columns(
+            population, index, relation_plan, row, instance
+        )
+
+    def _materialize_pair_row(
+        self,
+        population: Population,
+        index: dict,
+        relation_plan: RelationPlan,
+        row: dict,
+    ) -> None:
+        membership = relation_plan.membership
+        assert isinstance(membership, FactPairs)
+        sides: dict[int, list] = {0: [], 1: []}
+        for unit in relation_plan.columns:
+            if isinstance(unit.source, PairLeaf):
+                sides[unit.source.side].append(
+                    (unit.source, row.get(unit.name))
+                )
+        fillers = []
+        for side in (0, 1):
+            values = tuple(value for _, value in sides[side])
+            source = sides[side][0][0]
+            filler = self._resolve(index, source.player, values)
+            fillers.append(filler)
+            deeper = [
+                (s.leaf, value) for s, value in sides[side] if s.leaf.path
+            ]
+            if deeper:
+                population.add_instance(source.player, filler)
+                self._reconstruct_chain(
+                    population, index, source.player, filler, deeper
+                )
+        population.add_fact(membership.fact, fillers[0], fillers[1])
+
+
+# ----------------------------------------------------------------------
+# Canonical populations
+# ----------------------------------------------------------------------
+
+
+def canonicalize_population(
+    plan: MappingPlan, population: Population
+) -> Population:
+    """Rename abstract instances to their lexical reference values.
+
+    Each non-lexical instance is renamed to the (tuple of) values of
+    the chosen reference scheme of its *root* supertype — the identity
+    the backwards mapping reconstructs.  LOT and LOT-NOLOT instances
+    are their own names already.
+    """
+    schema = plan.schema
+    renames: dict[tuple[str, Instance], Instance] = {}
+
+    def rename(type_name: str, instance: Instance) -> Instance:
+        object_type = schema.object_type(type_name)
+        if not object_type.is_nolot:
+            return instance
+        roots = schema.root_supertypes_of(type_name)
+        root = min(roots)
+        key = (root, instance)
+        if key in renames:
+            return renames[key]
+        if root in plan.disjunctive:
+            disjunct_values = []
+            scheme = plan.disjunctive[root]
+            for fact_name in scheme.facts:
+                fact = schema.fact_type(fact_name)
+                near = (
+                    fact.first if fact.first.player == root else fact.second
+                )
+                fillers = population.facts_of(fact_name, near.name, instance)
+                disjunct_values.append(
+                    sorted(fillers, key=repr)[0] if fillers else None
+                )
+            renamed: Instance = tuple(disjunct_values)
+        else:
+            values = tuple(
+                _follow(population, instance, leaf.path)
+                for leaf in plan.resolver.leaves(root)
+            )
+            if any(value is None for value in values):
+                raise MappingError(
+                    f"instance {instance!r} of {type_name!r} has no complete "
+                    "reference; population is not a valid state"
+                )
+            renamed = _canon(values)
+        renames[key] = renamed
+        return renamed
+
+    canonical = Population(schema)
+    for object_type in schema.object_types:
+        for instance in population.instances(object_type.name):
+            canonical.add_instance(
+                object_type.name, rename(object_type.name, instance)
+            )
+    for fact in schema.fact_types:
+        for first, second in population.fact_instances(fact.name):
+            canonical.add_fact(
+                fact.name,
+                rename(fact.first.player, first),
+                rename(fact.second.player, second),
+            )
+    return canonical

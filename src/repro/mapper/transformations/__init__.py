@@ -1,0 +1,23 @@
+"""The transformation base (figure 5 of the paper).
+
+Basic schema transformations of three kinds: binary-to-binary
+(canonicalization, scope restriction, sublink elimination, indicator
+synthesis), binary-to-relational and relational-to-relational (the
+grouping/synthesis steps in :mod:`repro.mapper.synthesis`).
+"""
+
+from repro.mapper.transformations.binary_binary import (
+    add_indicator_fact,
+    apply_sublink_policies,
+    canonicalize_constraints,
+    eliminate_sublink,
+    restrict_scope,
+)
+
+__all__ = [
+    "add_indicator_fact",
+    "apply_sublink_policies",
+    "canonicalize_constraints",
+    "eliminate_sublink",
+    "restrict_scope",
+]

@@ -1,0 +1,46 @@
+"""Data translation between alternative relational designs.
+
+Section 4.1 names the second use of the inverse mapping: "when
+dealing with ... *data translations between different databases* we
+also have to consider the inverse mapping to assure to be able to go
+back and forth between the two databases."
+
+Because every mapping result is a bijection onto the same conceptual
+state space, migrating a database from one option combination to
+another is composition: invert through the source design, re-map
+through the target design.  This is how a site that started with the
+fully normalized design moves to the denormalized one (or back)
+without writing a single migration query.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.errors import MappingError
+from repro.mapper.result import MappingResult
+
+
+def translate_state(
+    source: MappingResult, database: Database, target: MappingResult
+) -> Database:
+    """Re-express a database state under another mapping of the same
+    conceptual schema.
+
+    Raises :class:`MappingError` when the two results do not map the
+    same conceptual schema (state translation is only defined between
+    designs of one universe of discourse).
+    """
+    if source.source != target.source:
+        raise MappingError(
+            "cannot translate between mappings of different conceptual "
+            f"schemas ({source.source.name!r} vs {target.source.name!r})"
+        )
+    population = source.backward(database)
+    translated = target.forward(population)
+    violations = translated.check()
+    if violations:
+        raise MappingError(
+            "translated state violates the target design's constraints "
+            f"(was the source state valid?): {violations[0]}"
+        )
+    return translated

@@ -1,0 +1,22 @@
+"""The meta-database (section 3.1): versioned schema storage,
+data-dictionary views and relational self-export."""
+
+from repro.metadb.sqlexport import export_metadb, metamodel_schema
+from repro.metadb.store import MetaDatabase, SchemaVersion
+from repro.metadb.views import (
+    constraints_view,
+    object_types_view,
+    roles_view,
+    sublinks_view,
+)
+
+__all__ = [
+    "MetaDatabase",
+    "SchemaVersion",
+    "constraints_view",
+    "export_metadb",
+    "metamodel_schema",
+    "object_types_view",
+    "roles_view",
+    "sublinks_view",
+]

@@ -1,0 +1,181 @@
+"""Relational self-export of the meta-database.
+
+The paper's meta-database "is a relational (ORACLE) database"; this
+module reproduces that openness by mapping the meta-model itself onto
+the library's own relational engine: the stored schemas become rows
+in META_* tables that can be queried like any other database — the
+dog-fooding the original system shipped with.
+"""
+
+from __future__ import annotations
+
+from repro.brm.datatypes import char, integer
+from repro.engine.database import Database
+from repro.metadb.store import MetaDatabase
+from repro.metadb.views import (
+    constraints_view,
+    object_types_view,
+    roles_view,
+    sublinks_view,
+)
+from repro.relational.constraints import PrimaryKey
+from repro.relational.schema import (
+    Attribute,
+    Domain,
+    Relation,
+    RelationalSchema,
+)
+
+
+def metamodel_schema() -> RelationalSchema:
+    """The relational schema of the meta-database itself."""
+    schema = RelationalSchema("ridl_meta")
+    schema.add_domain(Domain("D_Name", char(64)))
+    schema.add_domain(Domain("D_Kind", char(16)))
+    schema.add_domain(Domain("D_Text", char(255)))
+    schema.add_domain(Domain("D_Int", integer()))
+    schema.add_domain(Domain("D_Flag", char(1)))
+
+    schema.add_relation(
+        Relation(
+            "META_SCHEMA",
+            (
+                Attribute("schema_name", "D_Name"),
+                Attribute("latest_version", "D_Int"),
+            ),
+        )
+    )
+    schema.add_constraint(
+        PrimaryKey("PK_META_SCHEMA", relation="META_SCHEMA",
+                   columns=("schema_name",))
+    )
+    schema.add_relation(
+        Relation(
+            "META_OBJECT_TYPE",
+            (
+                Attribute("schema_name", "D_Name"),
+                Attribute("object_type", "D_Name"),
+                Attribute("kind", "D_Kind"),
+                Attribute("datatype", "D_Kind", nullable=True),
+            ),
+        )
+    )
+    schema.add_constraint(
+        PrimaryKey(
+            "PK_META_OBJECT_TYPE",
+            relation="META_OBJECT_TYPE",
+            columns=("schema_name", "object_type"),
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "META_ROLE",
+            (
+                Attribute("schema_name", "D_Name"),
+                Attribute("fact_type", "D_Name"),
+                Attribute("role", "D_Name"),
+                Attribute("player", "D_Name"),
+                Attribute("is_unique", "D_Flag"),
+                Attribute("is_total", "D_Flag"),
+            ),
+        )
+    )
+    schema.add_constraint(
+        PrimaryKey(
+            "PK_META_ROLE",
+            relation="META_ROLE",
+            columns=("schema_name", "fact_type", "role"),
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "META_SUBLINK",
+            (
+                Attribute("schema_name", "D_Name"),
+                Attribute("sublink", "D_Name"),
+                Attribute("subtype", "D_Name"),
+                Attribute("supertype", "D_Name"),
+            ),
+        )
+    )
+    schema.add_constraint(
+        PrimaryKey(
+            "PK_META_SUBLINK",
+            relation="META_SUBLINK",
+            columns=("schema_name", "sublink"),
+        )
+    )
+    schema.add_relation(
+        Relation(
+            "META_CONSTRAINT",
+            (
+                Attribute("schema_name", "D_Name"),
+                Attribute("constraint_name", "D_Name"),
+                Attribute("kind", "D_Kind"),
+                Attribute("items", "D_Text"),
+            ),
+        )
+    )
+    schema.add_constraint(
+        PrimaryKey(
+            "PK_META_CONSTRAINT",
+            relation="META_CONSTRAINT",
+            columns=("schema_name", "constraint_name"),
+        )
+    )
+    return schema
+
+
+def export_metadb(store: MetaDatabase) -> Database:
+    """Populate the metamodel tables from the latest schema versions."""
+    database = Database(metamodel_schema())
+    for name in store.schema_names():
+        version = store.version(name)
+        schema = version.schema()
+        database.insert(
+            "META_SCHEMA",
+            {"schema_name": name, "latest_version": version.version},
+        )
+        for row in object_types_view(schema):
+            database.insert(
+                "META_OBJECT_TYPE",
+                {
+                    "schema_name": name,
+                    "object_type": row["object_type"],
+                    "kind": row["kind"],
+                    "datatype": row["datatype"],
+                },
+            )
+        for row in roles_view(schema):
+            database.insert(
+                "META_ROLE",
+                {
+                    "schema_name": name,
+                    "fact_type": row["fact_type"],
+                    "role": row["role"],
+                    "player": row["player"],
+                    "is_unique": "Y" if row["unique"] else "N",
+                    "is_total": "Y" if row["total"] else "N",
+                },
+            )
+        for row in sublinks_view(schema):
+            database.insert(
+                "META_SUBLINK",
+                {
+                    "schema_name": name,
+                    "sublink": row["sublink"],
+                    "subtype": row["subtype"],
+                    "supertype": row["supertype"],
+                },
+            )
+        for row in constraints_view(schema):
+            database.insert(
+                "META_CONSTRAINT",
+                {
+                    "schema_name": name,
+                    "constraint_name": row["constraint"],
+                    "kind": row["kind"],
+                    "items": ", ".join(row["items"]),
+                },
+            )
+    return database

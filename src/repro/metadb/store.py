@@ -1,0 +1,106 @@
+"""The RIDL* meta-database.
+
+"The binary conceptual schemas developed with RIDL-G are stored in
+RIDL*'s own meta-database.  It may contain several independent
+conceptual schemas" (section 3.1).  The store keeps every check-in as
+an immutable version, so long-lived engineering projects keep their
+history; the DSL serialization is the storage format, which makes
+versions diffable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.brm.schema import BinarySchema
+from repro.dsl.parser import parse, to_dsl
+from repro.errors import MetaDatabaseError
+
+
+@dataclass(frozen=True)
+class SchemaVersion:
+    """One immutable check-in of a schema."""
+
+    name: str
+    version: int
+    source: str  # DSL serialization
+    comment: str = ""
+
+    def schema(self) -> BinarySchema:
+        """Materialize the stored schema."""
+        return parse(self.source)
+
+
+@dataclass
+class MetaDatabase:
+    """A named collection of versioned binary schemas."""
+
+    name: str = "meta"
+    _versions: dict[str, list[SchemaVersion]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+
+    def check_in(
+        self, schema: BinarySchema, *, comment: str = ""
+    ) -> SchemaVersion:
+        """Store a new version of the schema under its own name."""
+        history = self._versions.setdefault(schema.name, [])
+        version = SchemaVersion(
+            name=schema.name,
+            version=len(history) + 1,
+            source=to_dsl(schema),
+            comment=comment,
+        )
+        history.append(version)
+        return version
+
+    def check_out(
+        self, name: str, version: int | None = None
+    ) -> BinarySchema:
+        """Materialize a stored schema (latest version by default)."""
+        return self.version(name, version).schema()
+
+    def version(self, name: str, version: int | None = None) -> SchemaVersion:
+        """The version record itself."""
+        history = self._versions.get(name)
+        if not history:
+            raise MetaDatabaseError(f"no schema named {name!r} in the store")
+        if version is None:
+            return history[-1]
+        if not 1 <= version <= len(history):
+            raise MetaDatabaseError(
+                f"schema {name!r} has versions 1..{len(history)}, "
+                f"not {version}"
+            )
+        return history[version - 1]
+
+    def schema_names(self) -> list[str]:
+        """All stored schema names."""
+        return sorted(self._versions)
+
+    def history(self, name: str) -> list[SchemaVersion]:
+        """All versions of one schema, oldest first."""
+        if name not in self._versions:
+            raise MetaDatabaseError(f"no schema named {name!r} in the store")
+        return list(self._versions[name])
+
+    def drop(self, name: str) -> None:
+        """Remove a schema and its entire history."""
+        if name not in self._versions:
+            raise MetaDatabaseError(f"no schema named {name!r} in the store")
+        del self._versions[name]
+
+    def diff(self, name: str, old: int, new: int) -> str:
+        """A unified diff between two versions' DSL sources."""
+        import difflib
+
+        old_version = self.version(name, old)
+        new_version = self.version(name, new)
+        return "".join(
+            difflib.unified_diff(
+                old_version.source.splitlines(keepends=True),
+                new_version.source.splitlines(keepends=True),
+                fromfile=f"{name}@v{old}",
+                tofile=f"{name}@v{new}",
+            )
+        )

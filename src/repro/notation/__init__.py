@@ -1,0 +1,6 @@
+"""NIAM notation renderers — the diagram face of RIDL-G."""
+
+from repro.notation.ascii_art import render_ascii
+from repro.notation.dot import render_dot
+
+__all__ = ["render_ascii", "render_dot"]

@@ -1,0 +1,106 @@
+"""Plain-text rendering of a binary schema.
+
+A terminal-friendly substitute for the RIDL-G diagram: one block per
+object type listing its species, naming markers, fact types (with the
+uniqueness bar and the total-role "V" sign shown inline), subtypes,
+and the set-algebraic constraints.
+"""
+
+from __future__ import annotations
+
+from repro.brm.constraints import (
+    EqualityConstraint,
+    ExclusionConstraint,
+    FrequencyConstraint,
+    SubsetConstraint,
+    TotalUnionConstraint,
+    ValueConstraint,
+)
+from repro.brm.objects import ObjectKind
+from repro.brm.schema import BinarySchema
+from repro.brm.sublinks import SublinkRef
+
+_KIND_MARK = {
+    ObjectKind.LOT: "( )",  # dotted circle
+    ObjectKind.NOLOT: "(O)",
+    ObjectKind.LOT_NOLOT: "(&)",
+}
+
+
+def render_ascii(schema: BinarySchema) -> str:
+    """A text outline of the schema in NIAM vocabulary."""
+    lines = [f"BINARY SCHEMA {schema.name}", "=" * (14 + len(schema.name))]
+    for object_type in schema.object_types:
+        mark = _KIND_MARK[object_type.kind]
+        header = f"{mark} {object_type.kind.value} {object_type.name}"
+        if object_type.datatype is not None:
+            header += f" : {object_type.datatype.render()}"
+        lines.append("")
+        lines.append(header)
+        for sublink in schema.sublinks_from(object_type.name):
+            lines.append(f"    is a subtype of {sublink.supertype}  [{sublink.name}]")
+        for role_id in schema.roles_played_by(object_type.name):
+            fact = schema.fact_type(role_id.fact)
+            role = fact.role(role_id.role)
+            other = fact.co_role(role_id.role)
+            marks = ""
+            if schema.is_unique(role_id):
+                marks += " -u-"  # the identifier bar over the key role
+            if schema.is_total(role_id):
+                marks += " V"  # the total role sign
+            lines.append(
+                f"    --[{role.name}{marks}]--({fact.name})--"
+                f"[{other.name}]--> {other.player}"
+            )
+    algebra = [
+        c
+        for c in schema.constraints
+        if isinstance(
+            c,
+            (
+                ExclusionConstraint,
+                EqualityConstraint,
+                SubsetConstraint,
+                FrequencyConstraint,
+                ValueConstraint,
+            ),
+        )
+        or (isinstance(c, TotalUnionConstraint) and not c.is_total_role)
+    ]
+    if algebra:
+        lines.append("")
+        lines.append("SET-ALGEBRAIC CONSTRAINTS")
+        lines.append("-" * 25)
+        for constraint in algebra:
+            lines.append(f"  {constraint.name}: {_describe(constraint)}")
+    return "\n".join(lines) + "\n"
+
+
+def _item(item) -> str:
+    if isinstance(item, SublinkRef):
+        return f"sublink {item.sublink}"
+    return f"{item.fact}.{item.role}"
+
+
+def _describe(constraint) -> str:
+    if isinstance(constraint, ExclusionConstraint):
+        return "exclusion over " + ", ".join(_item(i) for i in constraint.items)
+    if isinstance(constraint, EqualityConstraint):
+        return "equality of " + ", ".join(_item(i) for i in constraint.items)
+    if isinstance(constraint, SubsetConstraint):
+        return f"{_item(constraint.subset)} subset of {_item(constraint.superset)}"
+    if isinstance(constraint, TotalUnionConstraint):
+        return (
+            f"total union on {constraint.object_type} of "
+            + ", ".join(_item(i) for i in constraint.items)
+        )
+    if isinstance(constraint, FrequencyConstraint):
+        upper = constraint.maximum if constraint.maximum is not None else "n"
+        return (
+            f"frequency {constraint.minimum}..{upper} on "
+            f"{_item(constraint.role)}"
+        )
+    if isinstance(constraint, ValueConstraint):
+        values = ", ".join(repr(v) for v in constraint.values)
+        return f"values of {constraint.object_type} in ({values})"
+    return constraint.name  # pragma: no cover - defensive

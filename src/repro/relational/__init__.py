@@ -1,0 +1,61 @@
+"""The generic relational schema model (target of RIDL-M).
+
+Relations, attributes, named domains, classical constraints (keys,
+foreign keys, CHECKs) and the paper's extended view constraints — the
+"lossless rules" of the schema transformations.
+"""
+
+from repro.relational.constraints import (
+    CandidateKey,
+    CheckConstraint,
+    EqualityViewConstraint,
+    ForeignKey,
+    PrimaryKey,
+    RelationalConstraint,
+    SelectSpec,
+    SubsetViewConstraint,
+)
+from repro.relational.predicates import (
+    And,
+    Compare,
+    InValues,
+    IsNull,
+    Not,
+    NotNull,
+    Or,
+    Predicate,
+    and_,
+    dependent_existence,
+    equal_existence,
+    or_,
+    render_literal,
+)
+from repro.relational.schema import Attribute, Domain, Relation, RelationalSchema
+
+__all__ = [
+    "And",
+    "Attribute",
+    "CandidateKey",
+    "CheckConstraint",
+    "Compare",
+    "Domain",
+    "EqualityViewConstraint",
+    "ForeignKey",
+    "InValues",
+    "IsNull",
+    "Not",
+    "NotNull",
+    "Or",
+    "Predicate",
+    "PrimaryKey",
+    "Relation",
+    "RelationalConstraint",
+    "RelationalSchema",
+    "SelectSpec",
+    "SubsetViewConstraint",
+    "and_",
+    "dependent_existence",
+    "equal_existence",
+    "or_",
+    "render_literal",
+]

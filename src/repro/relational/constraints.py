@@ -1,0 +1,214 @@
+"""Relational constraints, classical and extended.
+
+Section 4.1: "Either we need to restrict the class of binary schemas
+which can be transformed ... or we need to extend the relational model
+with additional constraint types. ... Naturally, we have chosen to
+extend the relational model."  The classical constraints (keys,
+foreign keys, NOT NULL, CHECK) map onto SQL directly; the *view
+constraints* (equality / subset over SELECT expressions) are the
+"lossless rules" that most target DBMSs of the time could not enforce
+— RIDL-M emits them as pseudo-SQL comments that act as formal
+specifications for application programmers (section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.relational.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class RelationalConstraint:
+    """Base class for constraints of the generic relational schema."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("constraint names must be non-empty")
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        """Relation name -> referenced column names."""
+        raise NotImplementedError
+
+    def relations_used(self) -> frozenset[str]:
+        """All relations the constraint mentions."""
+        return frozenset(self.columns_used())
+
+
+def _key_columns(name: str, columns: tuple[str, ...]) -> None:
+    if not columns:
+        raise SchemaError(f"key constraint {name!r} needs at least one column")
+    if len(set(columns)) != len(columns):
+        raise SchemaError(f"key constraint {name!r} lists a column twice")
+
+
+@dataclass(frozen=True)
+class PrimaryKey(RelationalConstraint):
+    """The primary key of a relation (full underline in the paper)."""
+
+    relation: str = ""
+    columns: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _key_columns(self.name, self.columns)
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        return {self.relation: frozenset(self.columns)}
+
+
+@dataclass(frozen=True)
+class CandidateKey(RelationalConstraint):
+    """A candidate (alternate) key — dotted underline in the paper."""
+
+    relation: str = ""
+    columns: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _key_columns(self.name, self.columns)
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        return {self.relation: frozenset(self.columns)}
+
+
+@dataclass(frozen=True)
+class ForeignKey(RelationalConstraint):
+    """A referential-integrity arrow between two relations.
+
+    NULLs in the referencing columns are permitted (match is only
+    required for fully non-NULL source tuples), matching how the
+    paper stores optional sublinks such as ``Paper_ProgramId_Is``.
+    """
+
+    relation: str = ""
+    columns: tuple[str, ...] = field(default=())
+    referenced_relation: str = ""
+    referenced_columns: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _key_columns(self.name, self.columns)
+        _key_columns(self.name, self.referenced_columns)
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        used = {self.relation: frozenset(self.columns)}
+        if self.referenced_relation == self.relation:
+            used[self.relation] = frozenset(self.columns) | frozenset(
+                self.referenced_columns
+            )
+        else:
+            used[self.referenced_relation] = frozenset(self.referenced_columns)
+        return used
+
+
+@dataclass(frozen=True)
+class CheckConstraint(RelationalConstraint):
+    """A row-level CHECK on one relation.
+
+    ``comment`` carries the paper's annotation style
+    (``-- Dependent Existence``, ``-- Equal Existence``).
+    """
+
+    relation: str = ""
+    predicate: Predicate = field(default=None)  # type: ignore[assignment]
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.predicate is None:
+            raise SchemaError(f"check constraint {self.name!r} needs a predicate")
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        return {self.relation: self.predicate.columns()}
+
+
+@dataclass(frozen=True)
+class SelectSpec:
+    """One side of a view constraint: SELECT columns FROM relation
+    [WHERE predicate]."""
+
+    relation: str
+    columns: tuple[str, ...]
+    where: Predicate | None = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("a view-constraint SELECT needs columns")
+
+    def columns_used(self) -> frozenset[str]:
+        used = frozenset(self.columns)
+        if self.where is not None:
+            used |= self.where.columns()
+        return used
+
+
+@dataclass(frozen=True)
+class EqualityViewConstraint(RelationalConstraint):
+    """The paper's ``EQUALITY VIEW CONSTRAINT`` (``C_EQ$`` rules).
+
+    The two SELECT expressions must always denote the same set of
+    tuples — e.g. the primary keys of a sub-relation versus the
+    non-NULL sublink attribute of the super-relation (Alternative 3),
+    or the conditional-equality rule of the indicator option.
+    """
+
+    left: SelectSpec = field(default=None)  # type: ignore[assignment]
+    right: SelectSpec = field(default=None)  # type: ignore[assignment]
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.left is None or self.right is None:
+            raise SchemaError(
+                f"equality view constraint {self.name!r} needs two SELECTs"
+            )
+        if len(self.left.columns) != len(self.right.columns):
+            raise SchemaError(
+                f"equality view constraint {self.name!r} has mismatched "
+                "column counts"
+            )
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        used: dict[str, frozenset[str]] = {}
+        for spec in (self.left, self.right):
+            used[spec.relation] = used.get(spec.relation, frozenset()) | (
+                spec.columns_used()
+            )
+        return used
+
+
+@dataclass(frozen=True)
+class SubsetViewConstraint(RelationalConstraint):
+    """A one-directional view inclusion (``C_SUB$`` rules).
+
+    Every tuple of the ``subset`` SELECT appears in the ``superset``
+    SELECT — the generalization of a foreign key to predicated views.
+    """
+
+    subset: SelectSpec = field(default=None)  # type: ignore[assignment]
+    superset: SelectSpec = field(default=None)  # type: ignore[assignment]
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.subset is None or self.superset is None:
+            raise SchemaError(
+                f"subset view constraint {self.name!r} needs two SELECTs"
+            )
+        if len(self.subset.columns) != len(self.superset.columns):
+            raise SchemaError(
+                f"subset view constraint {self.name!r} has mismatched "
+                "column counts"
+            )
+
+    def columns_used(self) -> dict[str, frozenset[str]]:
+        used: dict[str, frozenset[str]] = {}
+        for spec in (self.subset, self.superset):
+            used[spec.relation] = used.get(spec.relation, frozenset()) | (
+                spec.columns_used()
+            )
+        return used

@@ -1,0 +1,389 @@
+"""The generic relational schema RIDL-M builds.
+
+"The relational schema built by RIDL-M is independent of any target
+DBMS, it is called a *generic relational schema*" (section 4.3).  From
+it, DDL for any dialect is derived by :mod:`repro.sql`.
+
+The model extends the textbook relational model with named *domains*
+(the ``D Paper_ProgramId -- DATA TYPE CHAR(2)`` lines of the paper's
+output) and with the extended constraint types of section 4.1 that
+carry the semantics the plain relational model cannot express
+(:mod:`repro.relational.constraints`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.brm.datatypes import DataType
+from repro.errors import DuplicateNameError, SchemaError, UnknownElementError
+from repro.relational.constraints import (
+    CandidateKey,
+    CheckConstraint,
+    EqualityViewConstraint,
+    ForeignKey,
+    PrimaryKey,
+    RelationalConstraint,
+    SubsetViewConstraint,
+)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named domain backing one or more attributes.
+
+    RIDL-M creates one domain per lexical representation; foreign keys
+    must "relate to compatible domains" (section 4, step 4), which the
+    schema validates.
+    """
+
+    name: str
+    datatype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("domain names must be non-empty")
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A column of a relation.
+
+    ``nullable`` attributes are printed between brackets in the
+    paper's graphical notation for relational schemas.
+    """
+
+    name: str
+    domain: str
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute names must be non-empty")
+
+
+@dataclass
+class Relation:
+    """A relation schema: a name and an ordered list of attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation names must be non-empty")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(
+                f"relation {self.name!r} has duplicate attribute names"
+            )
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """The attribute with the given name."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise UnknownElementError("attribute", f"{self.name}.{name}")
+
+    def has_attribute(self, name: str) -> bool:
+        """True when the relation has a column with this name."""
+        return any(a.name == name for a in self.attributes)
+
+    def with_attribute(self, attribute: Attribute) -> "Relation":
+        """A copy of the relation with one more attribute."""
+        if self.has_attribute(attribute.name):
+            raise DuplicateNameError("attribute", f"{self.name}.{attribute.name}")
+        return Relation(self.name, self.attributes + (attribute,))
+
+    def without_attribute(self, name: str) -> "Relation":
+        """A copy of the relation lacking the named attribute."""
+        self.attribute(name)
+        return Relation(
+            self.name, tuple(a for a in self.attributes if a.name != name)
+        )
+
+
+class RelationalSchema:
+    """The generic relational schema: domains, relations, constraints."""
+
+    def __init__(self, name: str = "schema") -> None:
+        if not name:
+            raise SchemaError("schema names must be non-empty")
+        self.name = name
+        self._domains: dict[str, Domain] = {}
+        self._relations: dict[str, Relation] = {}
+        self._constraints: dict[str, RelationalConstraint] = {}
+
+    # ------------------------------------------------------------------
+    # Element management
+    # ------------------------------------------------------------------
+
+    def add_domain(self, domain: Domain) -> Domain:
+        """Add a domain; re-adding an identical domain is a no-op."""
+        existing = self._domains.get(domain.name)
+        if existing is not None:
+            if existing != domain:
+                raise DuplicateNameError("domain", domain.name)
+            return existing
+        self._domains[domain.name] = domain
+        return domain
+
+    def add_relation(self, relation: Relation) -> Relation:
+        """Add a relation; all attribute domains must exist."""
+        if relation.name in self._relations:
+            raise DuplicateNameError("relation", relation.name)
+        for attribute in relation.attributes:
+            if attribute.domain not in self._domains:
+                raise UnknownElementError("domain", attribute.domain)
+        self._relations[relation.name] = relation
+        return relation
+
+    def replace_relation(self, relation: Relation) -> Relation:
+        """Swap in a new version of an existing relation.
+
+        Constraints referring to dropped attributes must have been
+        removed first; this is validated.
+        """
+        if relation.name not in self._relations:
+            raise UnknownElementError("relation", relation.name)
+        for attribute in relation.attributes:
+            if attribute.domain not in self._domains:
+                raise UnknownElementError("domain", attribute.domain)
+        self._relations[relation.name] = relation
+        problems = [
+            c.name
+            for c in self._constraints.values()
+            if self._constraint_dangles(c)
+        ]
+        if problems:
+            raise SchemaError(
+                f"replacing relation {relation.name!r} breaks constraints: "
+                f"{problems}"
+            )
+        return relation
+
+    def remove_relation(self, name: str) -> None:
+        """Remove a relation; constraints touching it must be gone first."""
+        if name not in self._relations:
+            raise UnknownElementError("relation", name)
+        users = [
+            c.name for c in self._constraints.values() if name in c.relations_used()
+        ]
+        if users:
+            raise SchemaError(
+                f"relation {name!r} is still used by constraints: {users}"
+            )
+        del self._relations[name]
+
+    def add_constraint(self, constraint: RelationalConstraint) -> RelationalConstraint:
+        """Add a constraint; everything it references must exist."""
+        if constraint.name in self._constraints:
+            raise DuplicateNameError("constraint", constraint.name)
+        if self._constraint_dangles(constraint):
+            raise SchemaError(
+                f"constraint {constraint.name!r} references unknown "
+                "relations or attributes"
+            )
+        self._check_constraint_specifics(constraint)
+        self._constraints[constraint.name] = constraint
+        return constraint
+
+    def remove_constraint(self, name: str) -> None:
+        """Remove a constraint by name."""
+        if name not in self._constraints:
+            raise UnknownElementError("constraint", name)
+        del self._constraints[name]
+
+    def _constraint_dangles(self, constraint: RelationalConstraint) -> bool:
+        for relation_name, columns in constraint.columns_used().items():
+            relation = self._relations.get(relation_name)
+            if relation is None:
+                return True
+            for column in columns:
+                if not relation.has_attribute(column):
+                    return True
+        return False
+
+    def _check_constraint_specifics(self, constraint: RelationalConstraint) -> None:
+        if isinstance(constraint, PrimaryKey):
+            existing = self.primary_key(constraint.relation)
+            if existing is not None:
+                raise SchemaError(
+                    f"relation {constraint.relation!r} already has primary "
+                    f"key {existing.name!r}"
+                )
+        if isinstance(constraint, ForeignKey):
+            if len(constraint.columns) != len(constraint.referenced_columns):
+                raise SchemaError(
+                    f"foreign key {constraint.name!r} has mismatched "
+                    "column counts"
+                )
+            source = self._relations[constraint.relation]
+            target = self._relations[constraint.referenced_relation]
+            for src_col, dst_col in zip(
+                constraint.columns, constraint.referenced_columns
+            ):
+                src_domain = source.attribute(src_col).domain
+                dst_domain = target.attribute(dst_col).domain
+                if (
+                    self._domains[src_domain].datatype
+                    != self._domains[dst_domain].datatype
+                ):
+                    raise SchemaError(
+                        f"foreign key {constraint.name!r}: {src_col!r} and "
+                        f"{dst_col!r} have incompatible domains "
+                        f"({src_domain!r} vs {dst_domain!r})"
+                    )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def domain(self, name: str) -> Domain:
+        """The domain with the given name."""
+        try:
+            return self._domains[name]
+        except KeyError:
+            raise UnknownElementError("domain", name) from None
+
+    def relation(self, name: str) -> Relation:
+        """The relation with the given name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownElementError("relation", name) from None
+
+    def constraint(self, name: str) -> RelationalConstraint:
+        """The constraint with the given name."""
+        try:
+            return self._constraints[name]
+        except KeyError:
+            raise UnknownElementError("constraint", name) from None
+
+    def has_relation(self, name: str) -> bool:
+        """True when a relation with this name exists."""
+        return name in self._relations
+
+    def has_constraint(self, name: str) -> bool:
+        """True when a constraint with this name exists."""
+        return name in self._constraints
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        """All domains, in insertion order."""
+        return tuple(self._domains.values())
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        """All relations, in insertion order."""
+        return tuple(self._relations.values())
+
+    @property
+    def constraints(self) -> tuple[RelationalConstraint, ...]:
+        """All constraints, in insertion order."""
+        return tuple(self._constraints.values())
+
+    def constraints_on(self, relation_name: str) -> list[RelationalConstraint]:
+        """All constraints that mention the relation."""
+        return [
+            c
+            for c in self._constraints.values()
+            if relation_name in c.relations_used()
+        ]
+
+    def primary_key(self, relation_name: str) -> PrimaryKey | None:
+        """The relation's primary key constraint, if declared."""
+        for constraint in self._constraints.values():
+            if (
+                isinstance(constraint, PrimaryKey)
+                and constraint.relation == relation_name
+            ):
+                return constraint
+        return None
+
+    def candidate_keys(self, relation_name: str) -> list[CandidateKey]:
+        """All candidate key constraints on the relation."""
+        return [
+            c
+            for c in self._constraints.values()
+            if isinstance(c, CandidateKey) and c.relation == relation_name
+        ]
+
+    def keys_of(self, relation_name: str) -> list[tuple[str, ...]]:
+        """Primary plus candidate key column tuples of the relation."""
+        keys = []
+        primary = self.primary_key(relation_name)
+        if primary is not None:
+            keys.append(primary.columns)
+        keys.extend(c.columns for c in self.candidate_keys(relation_name))
+        return keys
+
+    def foreign_keys(self, relation_name: str | None = None) -> list[ForeignKey]:
+        """Foreign keys, optionally restricted to one source relation."""
+        return [
+            c
+            for c in self._constraints.values()
+            if isinstance(c, ForeignKey)
+            and (relation_name is None or c.relation == relation_name)
+        ]
+
+    def checks(self, relation_name: str | None = None) -> list[CheckConstraint]:
+        """CHECK constraints, optionally restricted to one relation."""
+        return [
+            c
+            for c in self._constraints.values()
+            if isinstance(c, CheckConstraint)
+            and (relation_name is None or c.relation == relation_name)
+        ]
+
+    def view_constraints(self) -> list[RelationalConstraint]:
+        """The extended (equality/subset view) constraints — the
+        lossless rules most RDBMSs cannot enforce natively."""
+        return [
+            c
+            for c in self._constraints.values()
+            if isinstance(c, (EqualityViewConstraint, SubsetViewConstraint))
+        ]
+
+    # ------------------------------------------------------------------
+    # Whole-schema operations
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "RelationalSchema":
+        """An independent copy of the schema."""
+        duplicate = RelationalSchema(name or self.name)
+        duplicate._domains = dict(self._domains)
+        duplicate._relations = dict(self._relations)
+        duplicate._constraints = dict(self._constraints)
+        return duplicate
+
+    def fresh_constraint_name(self, stem: str) -> str:
+        """An unused constraint name with the paper's ``STEM$_n`` style."""
+        counter = 1
+        while f"{stem}_{counter}" in self._constraints:
+            counter += 1
+        return f"{stem}_{counter}"
+
+    def stats(self) -> dict[str, int]:
+        """Element counts for reports and benchmarks."""
+        return {
+            "domains": len(self._domains),
+            "relations": len(self._relations),
+            "attributes": sum(len(r.attributes) for r in self._relations.values()),
+            "constraints": len(self._constraints),
+            "foreign_keys": len(self.foreign_keys()),
+            "view_constraints": len(self.view_constraints()),
+            "checks": len(self.checks()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"<RelationalSchema {self.name!r}: {stats['relations']} relations, "
+            f"{stats['attributes']} attributes, {stats['constraints']} constraints>"
+        )

@@ -1,0 +1,40 @@
+"""RIDL — conceptual query compilation over the forwards map.
+
+The reproduction of the paper's "RIDL compiler" idea (section 4.3):
+queries phrased on the binary conceptual schema are compiled, via the
+mapping plan, into relational access plans executable on the engine.
+"""
+
+from repro.ridl.queries import (
+    AccessStep,
+    CompiledQuery,
+    ConceptualQuery,
+    FactSelection,
+    QueryCompiler,
+    SubtypeFilter,
+    ValueFilter,
+)
+from repro.ridl.updates import (
+    AddToSubtype,
+    AssertFact,
+    ConceptualTransaction,
+    RemoveInstance,
+    RetractFact,
+    apply_transaction,
+)
+
+__all__ = [
+    "AccessStep",
+    "AddToSubtype",
+    "AssertFact",
+    "CompiledQuery",
+    "ConceptualQuery",
+    "ConceptualTransaction",
+    "FactSelection",
+    "QueryCompiler",
+    "RemoveInstance",
+    "RetractFact",
+    "SubtypeFilter",
+    "ValueFilter",
+    "apply_transaction",
+]

@@ -1,0 +1,143 @@
+"""Conceptual updates translated through the state mapping.
+
+Section 4.1: "When dealing with update specifications on virtual
+databases or with data translations between different databases we
+also have to consider the inverse mapping to assure to be able to go
+back and forth between the two databases."
+
+A :class:`ConceptualTransaction` is a batch of updates phrased on the
+*binary* schema — assert/retract a fact, create an instance, add or
+remove subtype membership.  Applying it to a relational database
+state goes through exactly the route the paper describes: the inverse
+mapping reconstructs the conceptual state, the updates are applied
+there (where their meaning is defined), the result is validated
+against the binary schema, and the forward mapping produces the new
+relational state — which, by losslessness, is the unique state
+representing the updated conceptual world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.brm.population import Population
+from repro.engine.database import Database
+from repro.errors import MappingError, PopulationError
+from repro.mapper.result import MappingResult
+
+
+@dataclass(frozen=True)
+class AssertFact:
+    """Add one fact instance: ``first`` and ``second`` are the fillers
+    (reference values for non-lexical players, plain values for
+    lexical ones)."""
+
+    fact: str
+    first: object
+    second: object
+
+
+@dataclass(frozen=True)
+class RetractFact:
+    """Remove one fact instance."""
+
+    fact: str
+    first: object
+    second: object
+
+
+@dataclass(frozen=True)
+class AddToSubtype:
+    """Make an existing instance a member of a subtype."""
+
+    subtype: str
+    instance: object
+
+
+@dataclass(frozen=True)
+class RemoveInstance:
+    """Remove an instance and every fact it takes part in."""
+
+    object_type: str
+    instance: object
+
+
+Update = object
+
+
+@dataclass(frozen=True)
+class ConceptualTransaction:
+    """An ordered batch of conceptual updates."""
+
+    updates: tuple[Update, ...]
+
+    def __post_init__(self) -> None:
+        if not self.updates:
+            raise MappingError("a transaction needs at least one update")
+
+
+def apply_transaction(
+    result: MappingResult,
+    database: Database,
+    transaction: ConceptualTransaction,
+) -> Database:
+    """Apply a conceptual transaction to a relational state.
+
+    Returns the new database state; raises
+    :class:`~repro.errors.PopulationError` when the updated
+    conceptual state violates the binary schema (the transaction is
+    rejected as a whole — the input database is never modified).
+    """
+    # The inverse mapping all the way back to the *original* schema:
+    # updates are phrased against the conceptual world the analyst
+    # modeled, regardless of which option set produced the database.
+    population = result.backward(database)
+    for update in transaction.updates:
+        _apply_update(result, population, update)
+    population.validate()  # atomic: all-or-nothing
+    updated = result.forward(population)
+    violations = updated.check()
+    if violations:  # pragma: no cover - losslessness guards this
+        raise MappingError(
+            "forward image of a valid conceptual state violates the "
+            f"relational constraints: {violations[0]}"
+        )
+    return updated
+
+
+def _apply_update(
+    result: MappingResult, population: Population, update: Update
+) -> None:
+    schema = population.schema
+    if isinstance(update, AssertFact):
+        population.add_fact(update.fact, update.first, update.second)
+    elif isinstance(update, RetractFact):
+        population.remove_fact(update.fact, update.first, update.second)
+    elif isinstance(update, AddToSubtype):
+        if not schema.has_object_type(update.subtype):
+            raise MappingError(
+                f"no object type {update.subtype!r} in the schema"
+            )
+        population.add_instance(update.subtype, update.instance)
+    elif isinstance(update, RemoveInstance):
+        _remove_instance(population, update.object_type, update.instance)
+    else:
+        raise MappingError(f"unknown update {update!r}")
+
+
+def _remove_instance(
+    population: Population, type_name: str, instance: object
+) -> None:
+    """Remove the instance from the type (and its subtypes), together
+    with the facts it plays *as a member of that family* — a Paper
+    leaving the programme keeps its Paper facts."""
+    schema = population.schema
+    family = {type_name} | schema.descendants_of(type_name)
+    for fact in schema.fact_types:
+        for position, role in enumerate(fact.roles):
+            if role.player not in family:
+                continue
+            for first, second in population.fact_instances(fact.name):
+                if (first, second)[position] == instance:
+                    population.remove_fact(fact.name, first, second)
+    population.discard_instance(type_name, instance)

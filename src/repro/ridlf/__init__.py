@@ -1,0 +1,23 @@
+"""RIDL-F — knowledge acquisition: schema induction from example data.
+
+The paper's under-development front-end module, realized: example
+tables in, proposed binary schema plus evidence trail out.
+"""
+
+from repro.ridlf.induction import (
+    Evidence,
+    ExampleTable,
+    InductionError,
+    InductionResult,
+    induce_schema,
+    infer_datatype,
+)
+
+__all__ = [
+    "Evidence",
+    "ExampleTable",
+    "InductionError",
+    "InductionResult",
+    "induce_schema",
+    "infer_datatype",
+]

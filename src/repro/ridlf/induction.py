@@ -1,0 +1,235 @@
+"""RIDL-F — schema induction from example data (section 3).
+
+"Actual knowledge acquisition about the application domain typically
+precedes this.  Although a module RIDL-F assisting this activity is
+currently under development as part of RIDL*, we shall not discuss
+this here."  The paper leaves RIDL-F unspecified; this module builds
+the natural reading of it: given *example data* — flat tables of
+sample rows, the raw material analysts collect — propose a binary
+conceptual schema.
+
+The induction is the classical NIAM elicitation procedure, automated:
+
+* every example table becomes a NOLOT (the entity the rows describe);
+* a key column (given or detected) becomes its naming convention;
+* every other column becomes a binary fact type to a LOT, with
+
+  - a uniqueness bar on the entity's role (the column is functional
+    by construction — one value per row),
+  - a total role constraint when no example row lacks a value,
+  - a uniqueness bar on the value's role when no value repeats
+    (a candidate 1:1, flagged for the analyst to confirm),
+  - a value constraint when the column draws from a small enumerated
+    set;
+
+* data types are sized from the observed values.
+
+The output is a starting point for RIDL-G, not a finished analysis —
+each inferred constraint carries the evidence it rests on, and
+negative evidence (nulls, duplicates) is what *prevents* constraints,
+so more examples can only make the proposal more accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.brm.builder import SchemaBuilder
+from repro.brm.datatypes import DataType, char, numeric
+from repro.brm.schema import BinarySchema
+from repro.errors import RidlError
+
+
+class InductionError(RidlError):
+    """The example data cannot support a schema proposal."""
+
+
+@dataclass(frozen=True)
+class ExampleTable:
+    """One table of example rows collected from the domain.
+
+    ``rows`` map column names to values (``None`` for unknown);
+    ``key`` optionally names the identifying column — when absent the
+    induction looks for a unique, never-null column.
+    """
+
+    name: str
+    rows: tuple[dict[str, object], ...]
+    key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise InductionError(
+                f"example table {self.name!r} has no rows; induction "
+                "needs evidence"
+            )
+
+    @property
+    def columns(self) -> list[str]:
+        """All column names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for row in self.rows:
+            for column in row:
+                seen.setdefault(column, None)
+        return list(seen)
+
+    def values(self, column: str) -> list[object]:
+        """The non-null values of a column, in row order."""
+        return [
+            row[column]
+            for row in self.rows
+            if row.get(column) is not None
+        ]
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """Why one constraint was (or was not) proposed."""
+
+    subject: str
+    verdict: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.subject}: {self.verdict} ({self.reason})"
+
+
+@dataclass
+class InductionResult:
+    """A proposed schema plus the evidence trail."""
+
+    schema: BinarySchema
+    evidence: list[Evidence] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The evidence report for the analyst."""
+        lines = [f"RIDL-F proposal for schema {self.schema.name!r}:"]
+        lines.extend(f"  {item}" for item in self.evidence)
+        return "\n".join(lines)
+
+
+_ENUM_THRESHOLD = 4  # distinct values <= this (and repeats) => enum
+
+
+def infer_datatype(values: list[object]) -> DataType:
+    """Size a lexical data type from observed values."""
+    if values and all(isinstance(v, bool) for v in values):
+        return char(1)
+    if values and all(
+        isinstance(v, int) and not isinstance(v, bool) for v in values
+    ):
+        digits = max(len(str(abs(v))) for v in values)
+        return numeric(max(digits + 2, 3))
+    if values and all(isinstance(v, (int, float)) for v in values):
+        return numeric(12, 2)
+    width = max((len(str(v)) for v in values), default=10)
+    return char(max(width + width // 2, 4))
+
+
+def induce_schema(
+    tables: list[ExampleTable], *, name: str = "induced"
+) -> InductionResult:
+    """Propose a binary schema from example tables."""
+    builder = SchemaBuilder(name)
+    evidence: list[Evidence] = []
+    for table in tables:
+        _induce_table(builder, table, evidence)
+    return InductionResult(schema=builder.build(), evidence=evidence)
+
+
+def _detect_key(table: ExampleTable, evidence: list[Evidence]) -> str:
+    if table.key is not None:
+        if table.key not in table.columns:
+            raise InductionError(
+                f"table {table.name!r}: declared key {table.key!r} is not "
+                "a column"
+            )
+        return table.key
+    for column in table.columns:
+        values = table.values(column)
+        if len(values) == len(table.rows) and len(set(map(repr, values))) == len(
+            values
+        ):
+            evidence.append(
+                Evidence(
+                    f"{table.name}.{column}",
+                    "chosen as naming convention",
+                    f"unique and never null over {len(values)} example rows",
+                )
+            )
+            return column
+    raise InductionError(
+        f"table {table.name!r}: no unique never-null column; declare a key"
+    )
+
+
+def _induce_table(
+    builder: SchemaBuilder, table: ExampleTable, evidence: list[Evidence]
+) -> None:
+    key = _detect_key(table, evidence)
+    entity = table.name
+    builder.nolot(entity)
+    key_lot = f"{entity}_{key}" if _name_taken(builder, key) else key
+    builder.lot(key_lot, infer_datatype(table.values(key)))
+    builder.identifier(entity, key_lot, fact=f"{entity}_has_{key}")
+
+    for column in table.columns:
+        if column == key:
+            continue
+        values = table.values(column)
+        if not values:
+            evidence.append(
+                Evidence(
+                    f"{table.name}.{column}",
+                    "skipped",
+                    "no example row carries a value",
+                )
+            )
+            continue
+        lot_name = (
+            f"{entity}_{column}" if _name_taken(builder, column) else column
+        )
+        builder.lot(lot_name, infer_datatype(values))
+        total = len(values) == len(table.rows)
+        distinct = len(set(map(repr, values)))
+        unique_far = distinct == len(values)
+        fact_name = f"{entity}_{column}_fact"
+        builder.attribute(
+            entity,
+            lot_name,
+            fact=fact_name,
+            total=total,
+            unique_target=unique_far and total,
+        )
+        evidence.append(
+            Evidence(
+                f"{table.name}.{column}",
+                "total role" if total else "optional role",
+                f"{len(values)}/{len(table.rows)} rows carry a value",
+            )
+        )
+        if unique_far and total:
+            evidence.append(
+                Evidence(
+                    f"{table.name}.{column}",
+                    "candidate alternate identifier (1:1)",
+                    f"all {len(values)} values distinct — confirm with "
+                    "the domain expert",
+                )
+            )
+        if not unique_far and distinct <= _ENUM_THRESHOLD and (
+            len(values) > distinct
+        ):
+            builder.values(lot_name, tuple(sorted(set(values), key=repr)))
+            evidence.append(
+                Evidence(
+                    f"{table.name}.{column}",
+                    "value restriction",
+                    f"only {distinct} distinct values over "
+                    f"{len(values)} rows",
+                )
+            )
+
+
+def _name_taken(builder: SchemaBuilder, name: str) -> bool:
+    return builder.schema.has_object_type(name)

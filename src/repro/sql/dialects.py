@@ -1,0 +1,96 @@
+"""The four dialect profiles the paper mentions.
+
+"At the time of writing, RIDL-M generates fully operational ORACLE,
+INGRES and DB2 schema definitions, and a 'neutral' schema definition
+in the SQL2 (draft) standard" (section 4.3).  The profiles encode the
+1989-era capabilities of those systems:
+
+* **SQL2 draft** — domains and named constraints; the extended view
+  constraints are still comments ("even the SQL2 standard does not
+  currently support these type of constraints").
+* **ORACLE V5** — no domains, no CHECK; named constraints and
+  referential clauses emitted, view constraints as comments.
+* **INGRES** — no domains, no named constraints (constraint names are
+  kept as comments so the map report stays linked).
+* **DB2** — no domains; primary/foreign keys supported.
+* **SYBASE** ("in the works" in the paper) — Transact-SQL checks, no
+  declarative foreign keys (trigger-enforced in 1989).
+"""
+
+from __future__ import annotations
+
+from repro.brm.datatypes import DataTypeKind
+from repro.sql.emitter import DialectProfile
+
+SQL2 = DialectProfile(
+    name="SQL2 (draft, ANSI X3H2-88-72)",
+    supports_domains=True,
+    supports_named_constraints=True,
+    supports_check=True,
+    supports_foreign_keys=True,
+)
+
+ORACLE = DialectProfile(
+    name="ORACLE V5",
+    supports_domains=False,
+    supports_named_constraints=True,
+    supports_check=False,
+    supports_foreign_keys=True,
+    type_overrides=(
+        (DataTypeKind.NUMERIC, "NUMBER"),
+        (DataTypeKind.INTEGER, "NUMBER(10)"),
+        (DataTypeKind.SMALLINT, "NUMBER(5)"),
+        (DataTypeKind.REAL, "NUMBER"),
+        (DataTypeKind.BOOLEAN, "CHAR(1)"),
+        (DataTypeKind.VARCHAR, "VARCHAR2"),
+    ),
+)
+
+INGRES = DialectProfile(
+    name="INGRES",
+    supports_domains=False,
+    supports_named_constraints=False,
+    supports_check=False,
+    supports_foreign_keys=False,
+    type_overrides=(
+        (DataTypeKind.NUMERIC, "DECIMAL"),
+        (DataTypeKind.BOOLEAN, "CHAR(1)"),
+        (DataTypeKind.REAL, "FLOAT8"),
+        (DataTypeKind.DATE, "DATE"),
+    ),
+)
+
+SYBASE = DialectProfile(
+    name="SYBASE",
+    supports_domains=False,
+    supports_named_constraints=True,
+    supports_check=True,  # Transact-SQL rules/checks
+    supports_foreign_keys=False,  # 1989: enforced via triggers
+    type_overrides=(
+        (DataTypeKind.NUMERIC, "NUMERIC"),
+        (DataTypeKind.BOOLEAN, "CHAR(1)"),
+        (DataTypeKind.REAL, "FLOAT"),
+        (DataTypeKind.DATE, "DATETIME"),
+    ),
+)
+
+DB2 = DialectProfile(
+    name="DB2",
+    supports_domains=False,
+    supports_named_constraints=True,
+    supports_check=False,
+    supports_foreign_keys=True,
+    type_overrides=(
+        (DataTypeKind.NUMERIC, "DECIMAL"),
+        (DataTypeKind.BOOLEAN, "CHAR(1)"),
+        (DataTypeKind.REAL, "DOUBLE"),
+    ),
+)
+
+PROFILES: dict[str, DialectProfile] = {
+    "sql2": SQL2,
+    "oracle": ORACLE,
+    "ingres": INGRES,
+    "db2": DB2,
+    "sybase": SYBASE,
+}

@@ -1,0 +1,95 @@
+"""Pseudo-SQL rendering of the extended constraints.
+
+"Since most RDBMSs at this moment support constraints poorly ...
+these generated formal constraint specifications may have to find
+their way into the eventual application designs by hand" (section
+3.3).  The renderers here produce the paper's pseudo-SQL house style,
+e.g.::
+
+    EQUALITY VIEW CONSTRAINT :
+        ( SELECT Paper_ProgramId
+          FROM Program_Paper
+        )
+        IS EQUAL TO
+        ( SELECT Paper_ProgramId_Is
+          FROM Paper
+          WHERE ( Paper_ProgramId_Is IS NOT NULL )
+        )
+    CONSTRAINT C_EQ$_3
+
+They are used verbatim by the map report and, prefixed with comment
+markers, by every DDL emitter.
+"""
+
+from __future__ import annotations
+
+from repro.relational.constraints import (
+    CandidateKey,
+    CheckConstraint,
+    EqualityViewConstraint,
+    ForeignKey,
+    PrimaryKey,
+    RelationalConstraint,
+    SelectSpec,
+    SubsetViewConstraint,
+)
+
+
+def render_select(spec: SelectSpec, indent: str = "    ") -> list[str]:
+    """The lines of one parenthesized SELECT of a view constraint."""
+    lines = [f"{indent}( SELECT {', '.join(spec.columns)}"]
+    lines.append(f"{indent}  FROM {spec.relation}")
+    if spec.where is not None:
+        lines.append(f"{indent}  WHERE {spec.where.render()}")
+    lines.append(f"{indent})")
+    return lines
+
+
+def render_constraint(constraint: RelationalConstraint) -> str:
+    """A dialect-neutral textual rendering of any constraint."""
+    if isinstance(constraint, PrimaryKey):
+        return (
+            f"PRIMARY KEY ( {', '.join(constraint.columns)} )\n"
+            f"   ON {constraint.relation}\nCONSTRAINT {constraint.name}"
+        )
+    if isinstance(constraint, CandidateKey):
+        return (
+            f"UNIQUE ( {', '.join(constraint.columns)} )\n"
+            f"   ON {constraint.relation}\nCONSTRAINT {constraint.name}"
+        )
+    if isinstance(constraint, ForeignKey):
+        return (
+            f"FOREIGN KEY {constraint.relation} "
+            f"( {', '.join(constraint.columns)} )\n"
+            f"REFERENCES {constraint.referenced_relation} "
+            f"( {', '.join(constraint.referenced_columns)} )\n"
+            f"CONSTRAINT {constraint.name}"
+        )
+    if isinstance(constraint, CheckConstraint):
+        comment = f" -- {constraint.comment}" if constraint.comment else ""
+        return (
+            f"CHECK({comment}\n  {constraint.predicate.render()}\n)\n"
+            f"   ON {constraint.relation}\nCONSTRAINT {constraint.name}"
+        )
+    if isinstance(constraint, EqualityViewConstraint):
+        lines = ["EQUALITY VIEW CONSTRAINT :"]
+        lines.extend(render_select(constraint.left))
+        lines.append("    IS EQUAL TO")
+        lines.extend(render_select(constraint.right))
+        lines.append(f"CONSTRAINT {constraint.name}")
+        return "\n".join(lines)
+    if isinstance(constraint, SubsetViewConstraint):
+        lines = ["SUBSET VIEW CONSTRAINT :"]
+        lines.extend(render_select(constraint.subset))
+        lines.append("    IS CONTAINED IN")
+        lines.extend(render_select(constraint.superset))
+        lines.append(f"CONSTRAINT {constraint.name}")
+        return "\n".join(lines)
+    return f"CONSTRAINT {constraint.name}"  # pragma: no cover - defensive
+
+
+def as_comment(text: str, marker: str = "--") -> str:
+    """Prefix every line with a SQL comment marker."""
+    return "\n".join(
+        f"{marker} {line}" if line else marker for line in text.splitlines()
+    )

@@ -1,0 +1,6 @@
+"""Workload generators for scale experiments and property tests."""
+
+from repro.workloads.generator import SchemaShape, generate_schema
+from repro.workloads.populations import generate_population
+
+__all__ = ["SchemaShape", "generate_population", "generate_schema"]

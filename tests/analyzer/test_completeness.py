@@ -1,0 +1,86 @@
+"""Tests for RIDL-A function 2 (completeness)."""
+
+from repro.analyzer import check_completeness
+from repro.brm import BinarySchema, SchemaBuilder, char
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+class TestEmptySchema:
+    def test_empty_schema_is_incomplete(self):
+        assert "EMPTY_SCHEMA" in codes(check_completeness(BinarySchema()))
+
+    def test_non_empty_schema_passes(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.identifier("A", "K")
+        assert "EMPTY_SCHEMA" not in codes(check_completeness(b.build()))
+
+
+class TestIsolation:
+    def test_isolated_object_type_warned(self):
+        b = SchemaBuilder()
+        b.nolot("Loner")
+        assert "ISOLATED_OBJECT_TYPE" in codes(check_completeness(b.build()))
+
+    def test_subtype_without_roles_is_not_isolated(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP").lot("K", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("PP", "Paper")
+        diagnostics = check_completeness(b.build())
+        subjects = {d.subject for d in diagnostics if d.code == "ISOLATED_OBJECT_TYPE"}
+        assert "PP" not in subjects
+
+
+class TestFactUniqueness:
+    def test_unconstrained_fact_warned(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        found = [d for d in check_completeness(b.build()) if d.code == "NO_UNIQUENESS"]
+        assert [d.subject for d in found] == ["f"]
+
+    def test_pair_uniqueness_counts(self):
+        b = SchemaBuilder()
+        b.nolot("A").nolot("B")
+        b.fact("f", ("A", "x"), ("B", "y"), unique="pair")
+        assert "NO_UNIQUENESS" not in codes(check_completeness(b.build()))
+
+    def test_simple_uniqueness_counts(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"), unique="first")
+        assert "NO_UNIQUENESS" not in codes(check_completeness(b.build()))
+
+
+class TestSubtypeDistinguishability:
+    def test_bare_subtype_warned(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP").lot("K", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("PP", "Paper")
+        found = [
+            d
+            for d in check_completeness(b.build())
+            if d.code == "INDISTINCT_SUBTYPE"
+        ]
+        assert [d.subject for d in found] == ["PP"]
+
+    def test_subtype_with_own_fact_is_fine(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP").lot("K", char(3)).lot("G", char(2))
+        b.identifier("Paper", "K")
+        b.subtype("PP", "Paper")
+        b.attribute("PP", "G", total=True)
+        assert "INDISTINCT_SUBTYPE" not in codes(check_completeness(b.build()))
+
+    def test_constrained_subtype_is_fine(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP").nolot("IP").lot("K", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("PP", "Paper").subtype("IP", "Paper")
+        b.exclusion("sublink:PP_IS_Paper", "sublink:IP_IS_Paper")
+        assert "INDISTINCT_SUBTYPE" not in codes(check_completeness(b.build()))

@@ -1,0 +1,142 @@
+"""Tests for RIDL-A function 3 (set-algebraic constraint consistency)."""
+
+from repro.analyzer import check_consistency
+from repro.brm import SchemaBuilder, char
+
+
+class TestConsistentSchemas:
+    def test_plain_schema_is_consistent(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").lot("K", char(3))
+        b.identifier("Paper", "K")
+        result = check_consistency(b.build())
+        assert result.is_consistent
+        assert result.forced_empty == {}
+
+    def test_disjoint_subtypes_are_consistent(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("A").nolot("B")
+        b.subtype("A", "Paper").subtype("B", "Paper")
+        b.exclusion("sublink:A_IS_Paper", "sublink:B_IS_Paper")
+        assert check_consistency(b.build()).is_consistent
+
+    def test_subset_chain_is_consistent(self):
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.subset(("g", "x"), ("f", "x"))
+        assert check_consistency(b.build()).is_consistent
+
+
+class TestContradictions:
+    def test_equality_plus_exclusion_forces_empty(self):
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.equality(("f", "x"), ("g", "x"))
+        b.exclusion(("f", "x"), ("g", "x"))
+        result = check_consistency(b.build())
+        # Both roles forced empty (warnings), but P itself survives.
+        roles = {n for n in result.forced_empty if n[0] == "role"}
+        assert len(roles) >= 2
+        assert result.is_consistent
+
+    def test_subset_plus_exclusion_empties_subset(self):
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.subset(("g", "x"), ("f", "x"))
+        b.exclusion(("f", "x"), ("g", "x"))
+        result = check_consistency(b.build())
+        assert ("role", "g", "x") in result.forced_empty
+        assert ("role", "f", "x") not in result.forced_empty
+
+    def test_total_role_on_forced_empty_role_is_inconsistent(self):
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.total(("g", "x"))
+        b.subset(("g", "x"), ("f", "x"))
+        b.exclusion(("f", "x"), ("g", "x"))
+        result = check_consistency(b.build())
+        # g.x is empty, and P must play g.x: P is unpopulatable.
+        assert not result.is_consistent
+        assert ("type", "P") in result.forced_empty
+
+    def test_two_total_excluded_roles_are_inconsistent(self):
+        # Every P plays f.x and every P plays g.x, but f.x and g.x are
+        # mutually exclusive: P must be empty.
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"), total="first")
+        b.fact("g", ("P", "x"), ("L", "y"), total="first")
+        b.exclusion(("f", "x"), ("g", "x"))
+        result = check_consistency(b.build())
+        assert not result.is_consistent
+
+    def test_subtype_of_excluded_subtypes_is_inconsistent(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("A").nolot("B").nolot("AB")
+        b.subtype("A", "Paper").subtype("B", "Paper")
+        b.subtype("AB", "A", name="AB_IS_A").subtype("AB", "B", name="AB_IS_B")
+        b.exclusion("sublink:A_IS_Paper", "sublink:B_IS_Paper")
+        result = check_consistency(b.build())
+        assert ("type", "AB") in result.forced_empty
+        assert not result.is_consistent
+        # A and B themselves are not forced empty.
+        assert ("type", "A") not in result.forced_empty
+
+    def test_emptiness_propagates_through_facts(self):
+        # AB empty -> AB's role empty -> co-role empty.
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("A").nolot("B").nolot("AB").lot("K", char(3))
+        b.subtype("A", "Paper").subtype("B", "Paper")
+        b.subtype("AB", "A", name="AB_IS_A").subtype("AB", "B", name="AB_IS_B")
+        b.exclusion("sublink:A_IS_Paper", "sublink:B_IS_Paper")
+        b.fact("h", ("AB", "x"), ("K", "y"))
+        result = check_consistency(b.build())
+        assert ("role", "h", "x") in result.forced_empty
+        assert ("role", "h", "y") in result.forced_empty
+
+    def test_total_union_hyper_rule(self):
+        # P is totally covered by two roles that are both forced empty.
+        b = SchemaBuilder()
+        b.nolot("P").nolot("Q").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x2"), ("L", "y"))
+        b.total_union("P", ("f", "x"), ("g", "x2"))
+        b.equality(("f", "x"), ("g", "x2"))
+        b.exclusion(("f", "x"), ("g", "x2"))
+        result = check_consistency(b.build())
+        assert ("type", "P") in result.forced_empty
+        assert not result.is_consistent
+
+
+class TestDiagnostics:
+    def test_reasons_are_recorded(self):
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.equality(("f", "x"), ("g", "x"), name="EQ")
+        b.exclusion(("f", "x"), ("g", "x"), name="EXC")
+        result = check_consistency(b.build())
+        reasons = " ".join(result.forced_empty.values())
+        assert "EXC" in reasons
+
+    def test_diagnostic_severities(self):
+        from repro.analyzer import Severity
+
+        b = SchemaBuilder()
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"), total="first")
+        b.fact("g", ("P", "x"), ("L", "y"), total="first")
+        b.exclusion(("f", "x"), ("g", "x"))
+        result = check_consistency(b.build())
+        by_code = {d.code: d for d in result.diagnostics}
+        assert by_code["FORCED_EMPTY_TYPE"].severity is Severity.ERROR
+        assert by_code["FORCED_EMPTY_ROLE"].severity is Severity.WARNING

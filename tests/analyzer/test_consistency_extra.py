@@ -1,0 +1,92 @@
+"""Additional consistency-solver cases: sublink items, diagnostics."""
+
+from repro.analyzer import Severity, check_consistency
+from repro.brm import SchemaBuilder, char
+
+
+class TestSublinkItems:
+    def test_subset_between_sublinks(self):
+        # B ⊆ C as populations, B and C mutually exclusive: B empty.
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.subset("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        result = check_consistency(b.build())
+        assert ("type", "B") in result.forced_empty
+        assert ("type", "C") not in result.forced_empty
+        assert not result.is_consistent
+
+    def test_forced_empty_sublink_diagnostic(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.subset("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        result = check_consistency(b.build())
+        codes = {d.code for d in result.diagnostics}
+        assert "FORCED_EMPTY_SUBLINK" in codes
+        assert "FORCED_EMPTY_TYPE" in codes
+
+    def test_equality_between_sublinks(self):
+        # B = C and B excluded from C: both empty.
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.equality("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        result = check_consistency(b.build())
+        assert ("type", "B") in result.forced_empty
+        assert ("type", "C") in result.forced_empty
+
+    def test_supertype_untouched_by_empty_subtypes(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.equality("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        result = check_consistency(b.build())
+        assert ("type", "A") not in result.forced_empty
+        assert result.is_consistent is False  # B and C are types too
+
+
+class TestMixedItems:
+    def test_role_equal_to_empty_sublink_is_empty(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C").lot("K", char(3))
+        b.subtype("B", "A").subtype("C", "A")
+        b.subset("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.equality(("f", "x"), "sublink:B_IS_A")
+        result = check_consistency(b.build())
+        assert ("role", "f", "x") in result.forced_empty
+        assert ("role", "f", "y") in result.forced_empty
+
+    def test_total_role_through_empty_role_chain(self):
+        # K-side totality forces nothing; but A total on a role that
+        # equals an empty one empties A.
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C").lot("K", char(3))
+        b.subtype("B", "A").subtype("C", "A")
+        b.subset("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        b.fact("f", ("A", "x"), ("K", "y"), total="first")
+        b.equality(("f", "x"), "sublink:B_IS_A")
+        result = check_consistency(b.build())
+        assert ("type", "A") in result.forced_empty
+
+
+class TestSeverities:
+    def test_sublink_and_role_warnings_type_errors(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C").lot("K", char(3))
+        b.subtype("B", "A").subtype("C", "A")
+        b.subset("sublink:B_IS_A", "sublink:C_IS_A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        b.fact("f", ("B", "x"), ("K", "y"))
+        result = check_consistency(b.build())
+        severities = {d.code: d.severity for d in result.diagnostics}
+        assert severities["FORCED_EMPTY_TYPE"] is Severity.ERROR
+        assert severities["FORCED_EMPTY_ROLE"] is Severity.WARNING
+        assert severities["FORCED_EMPTY_SUBLINK"] is Severity.WARNING

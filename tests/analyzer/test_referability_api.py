@@ -1,0 +1,91 @@
+"""Tests for RIDL-A function 4 (referability) and the analyze() API."""
+
+import pytest
+
+from repro.analyzer import Severity, analyze, check_referability, require_mappable
+from repro.brm import SchemaBuilder, char
+from repro.errors import AnalysisError
+
+
+def errors_by_subject(diagnostics):
+    return {d.subject: d for d in diagnostics if d.severity is Severity.ERROR}
+
+
+class TestReferability:
+    def test_referable_schema_reports_schemes(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        found = check_referability(b.build())
+        info = [d for d in found if d.code == "REFERENCE_SCHEME"]
+        assert [d.subject for d in info] == ["Paper"]
+        assert "Paper_Id" in info[0].message
+
+    def test_nolot_without_any_scheme(self):
+        b = SchemaBuilder()
+        b.nolot("Ghost").lot("Name", char(10))
+        b.attribute("Ghost", "Name")
+        errors = errors_by_subject(check_referability(b.build()))
+        assert "Ghost" in errors
+        assert "no candidate naming convention" in errors["Ghost"].message
+
+    def test_blocked_scheme_names_blocker(self):
+        b = SchemaBuilder()
+        b.nolot("Talk").nolot("Ghost")
+        b.identifier("Talk", "Ghost", fact="talk_on")
+        errors = errors_by_subject(check_referability(b.build()))
+        assert "Talk" in errors
+        assert "Ghost" in errors["Talk"].message
+
+    def test_subtype_blocked_by_unreferable_supertype(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP")
+        b.subtype("PP", "Paper")
+        errors = errors_by_subject(check_referability(b.build()))
+        assert set(errors) == {"Paper", "PP"}
+        assert "Paper" in errors["PP"].message
+
+
+class TestAnalyzeApi:
+    def good_schema(self):
+        b = SchemaBuilder("good")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Title", char(50))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Title", total=True)
+        return b.build()
+
+    def test_clean_schema_is_mappable(self):
+        report = analyze(self.good_schema())
+        assert report.is_mappable
+        assert report.errors == []
+        assert "MAPPABLE" in report.render()
+
+    def test_report_sections_populated(self):
+        b = SchemaBuilder("messy")
+        b.nolot("Ghost").lot("A", char(3)).lot("B", char(3))
+        b.fact("ll", ("A", "x"), ("B", "y"))  # LOT-LOT: correctness error
+        report = analyze(b.build())
+        assert any(d.code == "LEXICAL_FACT" for d in report.correctness)
+        assert any(d.code == "ISOLATED_OBJECT_TYPE" for d in report.completeness)
+        assert any(d.code == "NOT_REFERABLE" for d in report.referability)
+        assert not report.is_mappable
+
+    def test_require_mappable_passes_clean(self):
+        report = require_mappable(self.good_schema())
+        assert report.is_mappable
+
+    def test_require_mappable_raises_on_errors(self):
+        b = SchemaBuilder("bad")
+        b.nolot("Ghost")
+        b.lot("K", char(3))
+        b.attribute("Ghost", "K")  # not identifying: Ghost unreferable
+        with pytest.raises(AnalysisError) as excinfo:
+            require_mappable(b.build())
+        assert "not mappable" in str(excinfo.value)
+
+    def test_render_lists_verdict_and_counts(self):
+        report = analyze(self.good_schema())
+        rendered = report.render()
+        assert "1. Correctness" in rendered
+        assert "4. Referability" in rendered
+        assert "0 errors" in rendered

@@ -1,0 +1,141 @@
+"""Tests for the SchemaBuilder (RIDL-G programmatic core)."""
+
+import pytest
+
+from repro.brm import (
+    RoleId,
+    SchemaBuilder,
+    SublinkRef,
+    TotalUnionConstraint,
+    UniquenessConstraint,
+    char,
+    numeric,
+)
+from repro.errors import SchemaError
+
+
+class TestShorthands:
+    def test_fact_unique_both(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"), unique="both", total="first")
+        schema = b.build()
+        assert schema.is_unique(RoleId("f", "x"))
+        assert schema.is_unique(RoleId("f", "y"))
+        assert schema.is_total(RoleId("f", "x"))
+        assert not schema.is_total(RoleId("f", "y"))
+
+    def test_fact_unique_pair(self):
+        b = SchemaBuilder()
+        b.nolot("A").nolot("B")
+        b.fact("f", ("A", "x"), ("B", "y"), unique="pair")
+        schema = b.build()
+        # The pair constraint spans both roles; neither role alone is unique.
+        assert not schema.is_unique(RoleId("f", "x"))
+        constraints = schema.uniqueness_constraints()
+        assert len(constraints) == 1
+        assert len(constraints[0].roles) == 2
+
+    def test_unknown_shorthand_rejected(self):
+        b = SchemaBuilder()
+        b.nolot("A").nolot("B")
+        with pytest.raises(SchemaError):
+            b.fact("f", ("A", "x"), ("B", "y"), unique="nope")
+        b.fact("g", ("A", "x"), ("B", "y"))
+        with pytest.raises(SchemaError):
+            b.fact("h", ("A", "x"), ("B", "y"), total="nope")
+
+    def test_attribute_defaults(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").lot("Title", char(50))
+        b.attribute("Paper", "Title", total=True)
+        schema = b.build()
+        fact = schema.fact_type("Paper_has_Title")
+        assert fact.players == ("Paper", "Title")
+        assert schema.is_unique(RoleId("Paper_has_Title", "with"))
+        assert schema.is_total(RoleId("Paper_has_Title", "with"))
+
+    def test_identifier_marks_reference(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        schema = b.build()
+        reference = [
+            c
+            for c in schema.uniqueness_constraints()
+            if isinstance(c, UniquenessConstraint) and c.is_reference
+        ]
+        assert len(reference) == 1
+        assert reference[0].roles == (RoleId("Paper_has_Paper_Id", "with"),)
+
+    def test_subtype_default_name(self):
+        b = SchemaBuilder()
+        b.nolot("Paper").nolot("PP")
+        b.subtype("PP", "Paper")
+        assert b.build().has_sublink("PP_IS_Paper")
+
+
+class TestItemSpecs:
+    def test_string_role_spec(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.unique("f.x")
+        assert b.build().is_unique(RoleId("f", "x"))
+
+    def test_sublink_string_spec(self):
+        b = SchemaBuilder()
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        constraints = b.build().exclusions()
+        assert constraints[0].items == (SublinkRef("B_IS_A"), SublinkRef("C_IS_A"))
+
+    def test_bad_spec_rejected(self):
+        b = SchemaBuilder()
+        with pytest.raises(SchemaError):
+            b.unique(42)
+
+    def test_total_union_with_mixed_items(self):
+        b = SchemaBuilder()
+        b.nolot("A").nolot("B").lot("K", char(3))
+        b.subtype("B", "A")
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.total_union("A", ("f", "x"), "sublink:B_IS_A")
+        totals = b.build().totals()
+        assert len(totals[0].items) == 2
+
+
+class TestNameGeneration:
+    def test_constraint_names_are_fresh(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.unique("f.x", name="U1")
+        b.unique("f.y")  # auto name must skip U1
+        names = {c.name for c in b.build().constraints}
+        assert len(names) == 2
+
+    def test_counters_are_per_kind(self):
+        b = SchemaBuilder()
+        b.nolot("A").lot("K", char(3)).lot("L", numeric(2))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x"), ("L", "y"))
+        b.unique("f.x").total("g.x")
+        schema = b.build()
+        assert schema.has_constraint("U1")
+        assert schema.has_constraint("T1")
+
+
+class TestFluency:
+    def test_chaining_returns_builder(self):
+        b = SchemaBuilder()
+        result = b.nolot("A").lot("K", char(3)).lot_nolot("P", char(10))
+        assert result is b
+
+    def test_build_returns_live_schema(self):
+        b = SchemaBuilder("name")
+        schema = b.build()
+        b.nolot("A")
+        assert schema.has_object_type("A")  # builder edits the same schema
+        assert schema.name == "name"

@@ -1,0 +1,73 @@
+"""Tests for LOT data types."""
+
+import pytest
+
+from repro.brm import DataType, DataTypeKind, char, date, integer, numeric
+from repro.brm.datatypes import boolean, real, smallint, varchar
+
+
+class TestConstruction:
+    def test_char_requires_length(self):
+        with pytest.raises(ValueError):
+            DataType(DataTypeKind.CHAR)
+
+    def test_char_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            char(0)
+
+    def test_integer_rejects_length(self):
+        with pytest.raises(ValueError):
+            DataType(DataTypeKind.INTEGER, 4)
+
+    def test_scale_only_for_numeric(self):
+        with pytest.raises(ValueError):
+            DataType(DataTypeKind.CHAR, 10, 2)
+
+    def test_numeric_with_scale(self):
+        assert numeric(7, 2).scale == 2
+
+
+class TestRendering:
+    def test_char_render(self):
+        assert char(30).render() == "CHAR(30)"
+
+    def test_varchar_render(self):
+        assert varchar(12).render() == "VARCHAR(12)"
+
+    def test_numeric_render_without_scale(self):
+        assert numeric(3).render() == "NUMERIC(3)"
+
+    def test_numeric_render_with_scale(self):
+        assert numeric(7, 2).render() == "NUMERIC(7,2)"
+
+    def test_plain_kinds_render_bare(self):
+        assert integer().render() == "INTEGER"
+        assert date().render() == "DATE"
+
+
+class TestPhysicalSize:
+    def test_char_size_is_length(self):
+        assert char(30).physical_size == 30
+
+    def test_numeric_is_packed(self):
+        assert numeric(3).physical_size == 2  # 3 digits -> 2 bytes
+
+    def test_fixed_sizes(self):
+        assert integer().physical_size == 4
+        assert smallint().physical_size == 2
+        assert real().physical_size == 8
+        assert boolean().physical_size == 1
+
+    def test_size_orders_representations(self):
+        # A NUMERIC(3) id is "smaller" than a CHAR(30) name; the mapper
+        # relies on this ordering for the default lexical choice.
+        assert numeric(3).physical_size < char(30).physical_size
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert char(6) == char(6)
+        assert char(6) != char(7)
+
+    def test_hashable(self):
+        assert len({char(6), char(6), numeric(3)}) == 2

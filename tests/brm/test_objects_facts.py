@@ -1,0 +1,98 @@
+"""Tests for object types, roles and fact types."""
+
+import pytest
+
+from repro.brm import FactType, ObjectKind, Role, RoleId, char, lot, lot_nolot, nolot
+
+
+class TestObjectTypes:
+    def test_lot_is_lexical(self):
+        paper_id = lot("Paper_Id", char(6))
+        assert paper_id.kind is ObjectKind.LOT
+        assert paper_id.is_lexical
+        assert not paper_id.is_nolot
+
+    def test_nolot_is_not_lexical(self):
+        paper = nolot("Paper")
+        assert paper.is_nolot
+        assert not paper.is_lexical
+        assert paper.datatype is None
+
+    def test_lot_nolot_is_both(self):
+        person = lot_nolot("Person", char(30))
+        assert person.is_lexical
+        assert not person.is_nolot
+        assert person.datatype == char(30)
+
+    def test_nolot_rejects_datatype(self):
+        from repro.brm.objects import ObjectType
+
+        with pytest.raises(ValueError):
+            ObjectType("Paper", ObjectKind.NOLOT, char(6))
+
+    def test_lot_requires_datatype(self):
+        from repro.brm.objects import ObjectType
+
+        with pytest.raises(ValueError):
+            ObjectType("Paper_Id", ObjectKind.LOT)
+
+    def test_name_must_be_identifierish(self):
+        with pytest.raises(ValueError):
+            nolot("")
+        with pytest.raises(ValueError):
+            nolot("has space")
+
+
+class TestRoles:
+    def test_role_requires_name_and_player(self):
+        with pytest.raises(ValueError):
+            Role("", "Paper")
+        with pytest.raises(ValueError):
+            Role("with", "")
+
+    def test_role_id_str(self):
+        assert str(RoleId("presents", "presented_by")) == "presents.presented_by"
+
+
+class TestFactTypes:
+    @pytest.fixture
+    def presents(self):
+        return FactType(
+            "presents", Role("presented_by", "Program_Paper"), Role("presenting", "Person")
+        )
+
+    def test_roles_and_players(self, presents):
+        assert presents.players == ("Program_Paper", "Person")
+        assert [r.name for r in presents.roles] == ["presented_by", "presenting"]
+
+    def test_role_ids(self, presents):
+        assert presents.role_ids == (
+            RoleId("presents", "presented_by"),
+            RoleId("presents", "presenting"),
+        )
+
+    def test_role_lookup(self, presents):
+        assert presents.role("presenting").player == "Person"
+        with pytest.raises(KeyError):
+            presents.role("nope")
+
+    def test_co_role(self, presents):
+        assert presents.co_role("presented_by").name == "presenting"
+        assert presents.co_role("presenting").name == "presented_by"
+
+    def test_position_of(self, presents):
+        assert presents.position_of("presented_by") == 0
+        assert presents.position_of("presenting") == 1
+
+    def test_ring_fact(self):
+        supervises = FactType(
+            "supervises", Role("boss_of", "Person"), Role("reports_to", "Person")
+        )
+        assert supervises.is_ring
+        assert not FactType(
+            "has", Role("with", "Paper"), Role("of", "Title")
+        ).is_ring
+
+    def test_duplicate_role_names_rejected(self):
+        with pytest.raises(ValueError):
+            FactType("bad", Role("r", "A"), Role("r", "B"))

@@ -1,0 +1,178 @@
+"""Tests for reference schemes (naming conventions / referability)."""
+
+import pytest
+
+from repro.brm import ReferenceResolver, SchemaBuilder, candidate_schemes, char, numeric
+from repro.errors import NotReferableError, SchemaError
+
+
+def simple_schema():
+    b = SchemaBuilder("s")
+    b.nolot("Paper").lot("Paper_Id", char(6)).lot("Title", char(50))
+    b.identifier("Paper", "Paper_Id", fact="has_id")
+    b.attribute("Paper", "Title", fact="titled", total=True)
+    return b.build()
+
+
+class TestCandidates:
+    def test_lot_is_self_referable(self):
+        schema = simple_schema()
+        schemes = candidate_schemes(schema, "Paper_Id")
+        assert [s.kind for s in schemes] == ["self"]
+
+    def test_simple_scheme_found(self):
+        schema = simple_schema()
+        kinds = {s.kind for s in candidate_schemes(schema, "Paper")}
+        assert "simple" in kinds
+
+    def test_non_identifying_fact_is_no_scheme(self):
+        # "titled" lacks uniqueness on the Title side: not 1:1.
+        schema = simple_schema()
+        schemes = candidate_schemes(schema, "Paper")
+        assert all(
+            all(c.fact != "titled" for c in s.components) for s in schemes
+        )
+
+    def test_optional_identifying_fact_is_no_scheme(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        # 1:1 but not total: some paper might lack an id.
+        b.fact("has_id", ("Paper", "with"), ("Paper_Id", "of"), unique="both")
+        schemes = candidate_schemes(b.build(), "Paper")
+        assert schemes == []
+
+    def test_inherited_scheme_candidate(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("PP").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.subtype("PP", "Paper")
+        kinds = {s.kind for s in candidate_schemes(b.build(), "PP")}
+        assert kinds == {"inherited"}
+
+    def test_compound_scheme_candidate(self):
+        b = SchemaBuilder("s")
+        b.nolot("Building").lot("Street", char(20)).lot("Nr", numeric(4))
+        b.attribute("Building", "Street", fact="on", total=True)
+        b.attribute("Building", "Nr", fact="at", total=True)
+        b.unique(("on", "of"), ("at", "of"))
+        schemes = candidate_schemes(b.build(), "Building")
+        assert [s.kind for s in schemes] == ["compound"]
+        assert len(schemes[0].components) == 2
+
+
+class TestResolver:
+    def test_simple_resolution(self):
+        resolver = ReferenceResolver(simple_schema())
+        assert resolver.is_referable("Paper")
+        scheme = resolver.chosen_scheme("Paper")
+        assert scheme.kind == "simple"
+        leaves = resolver.leaves("Paper")
+        assert len(leaves) == 1
+        assert leaves[0].lot == "Paper_Id"
+
+    def test_non_referable_nolot_detected(self):
+        b = SchemaBuilder("s")
+        b.nolot("Ghost").lot("Name", char(10))
+        b.attribute("Ghost", "Name")  # not 1:1, not total
+        resolver = ReferenceResolver(b.build())
+        assert resolver.non_referable() == {"Ghost"}
+        with pytest.raises(NotReferableError):
+            resolver.leaves("Ghost")
+
+    def test_transitive_reference_through_nolot(self):
+        b = SchemaBuilder("s")
+        b.nolot("Talk").nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.identifier("Talk", "Paper", fact="talk_on")
+        resolver = ReferenceResolver(b.build())
+        assert resolver.is_referable("Talk")
+        leaves = resolver.leaves("Talk")
+        assert [leaf.lot for leaf in leaves] == ["Paper_Id"]
+        assert len(leaves[0].path) == 2  # Talk -> Paper -> Paper_Id
+
+    def test_inherited_resolution(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("PP").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.subtype("PP", "Paper")
+        resolver = ReferenceResolver(b.build())
+        scheme = resolver.chosen_scheme("PP")
+        assert scheme.kind == "inherited"
+        assert resolver.leaves("PP")[0].lot == "Paper_Id"
+
+    def test_smallest_representation_wins(self):
+        b = SchemaBuilder("s")
+        b.nolot("Person").lot("Ssn", numeric(9)).lot("FullName", char(60))
+        b.identifier("Person", "Ssn")
+        b.identifier("Person", "FullName")
+        resolver = ReferenceResolver(b.build())
+        # NUMERIC(9) is physically smaller than CHAR(60).
+        assert resolver.leaves("Person")[0].lot == "Ssn"
+
+    def test_preference_overrides_smallest(self):
+        b = SchemaBuilder("s")
+        b.nolot("Person").lot("Ssn", numeric(9)).lot("FullName", char(60))
+        b.identifier("Person", "Ssn")
+        b.identifier("Person", "FullName")
+        resolver = ReferenceResolver(
+            b.build(), preferences={"Person": ("Person_has_FullName",)}
+        )
+        assert resolver.leaves("Person")[0].lot == "FullName"
+
+    def test_impossible_preference_raises(self):
+        with pytest.raises(SchemaError):
+            ReferenceResolver(
+                simple_schema(), preferences={"Paper": ("no_such_fact",)}
+            )
+
+    def test_compound_expansion(self):
+        b = SchemaBuilder("s")
+        b.nolot("Building").lot("Street", char(20)).lot("Nr", numeric(4))
+        b.attribute("Building", "Street", fact="on", total=True)
+        b.attribute("Building", "Nr", fact="at", total=True)
+        b.unique(("on", "of"), ("at", "of"))
+        resolver = ReferenceResolver(b.build())
+        leaves = resolver.leaves("Building")
+        assert [leaf.lot for leaf in leaves] == ["Street", "Nr"]
+
+    def test_representation_cost(self):
+        resolver = ReferenceResolver(simple_schema())
+        involved, size = resolver.representation_cost("Paper")
+        assert involved == 2  # Paper + Paper_Id
+        assert size == 6
+
+    def test_lot_nolot_is_its_own_representation(self):
+        b = SchemaBuilder("s")
+        b.lot_nolot("Session", numeric(3))
+        resolver = ReferenceResolver(b.build())
+        leaves = resolver.leaves("Session")
+        assert leaves[0].lot == "Session"
+        assert leaves[0].path == ()
+
+    def test_inherited_scheme_follows_late_preference(self):
+        # The supertype prefers a via-NOLOT scheme that grounds one
+        # fix-point iteration after its direct scheme; the subtype's
+        # inherited expansion must be refreshed, not frozen on the
+        # first (pre-preference) choice.
+        b = SchemaBuilder("s")
+        b.nolot("P").nolot("Q").nolot("S")
+        b.lot("Direct", char(10)).lot("QK", char(2))
+        b.identifier("Q", "QK")
+        b.identifier("P", "Direct", fact="p_direct")
+        b.identifier("P", "Q", fact="p_via_q")
+        b.subtype("S", "P")
+        resolver = ReferenceResolver(
+            b.build(), preferences={"P": ("p_via_q",)}
+        )
+        assert [l.lot for l in resolver.leaves("P")] == ["QK"]
+        assert [l.lot for l in resolver.leaves("S")] == ["QK"]
+
+    def test_cyclic_nolot_references_do_not_ground(self):
+        # A references B for identity and B references A: neither can
+        # ever reach a LOT, so both are non-referable.
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B")
+        b.identifier("A", "B", fact="a_by_b")
+        b.identifier("B", "A", fact="b_by_a")
+        resolver = ReferenceResolver(b.build())
+        assert resolver.non_referable() == {"A", "B"}

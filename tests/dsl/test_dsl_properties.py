@@ -1,0 +1,35 @@
+"""Property-based tests: DSL round trip over generated schemas."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import parse, to_dsl
+from repro.workloads import SchemaShape, generate_schema
+
+
+class TestDslRoundTripProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_generated_schemas_round_trip(self, seed):
+        schema = generate_schema(
+            SchemaShape(entity_types=6, exclusion_groups=1), seed=seed
+        )
+        assert parse(to_dsl(schema)) == schema
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_rich_constraint_schemas_round_trip(self, seed):
+        schema = generate_schema(
+            SchemaShape(entity_types=5, rich_constraints=True), seed=seed
+        )
+        assert parse(to_dsl(schema)) == schema
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_serialization_is_deterministic(self, seed):
+        schema = generate_schema(SchemaShape(entity_types=5), seed=seed)
+        assert to_dsl(schema) == to_dsl(schema.copy())

@@ -1,0 +1,136 @@
+"""Tests for row-set operations and the I/O cost model."""
+
+import pytest
+
+from repro.brm import char, numeric
+from repro.engine import (
+    CostModel,
+    TableStatistics,
+    duplicates,
+    entity_fetch_cost,
+    equijoin,
+    group_by,
+    point_lookup_cost,
+    project,
+    relations_holding_entity,
+    row_bytes,
+    scan_cost,
+    select_rows,
+)
+from repro.relational import Attribute, Domain, IsNull, Relation, RelationalSchema
+
+
+class TestRowOps:
+    ROWS = [
+        {"a": 1, "b": "x"},
+        {"a": 2, "b": None},
+        {"a": 1, "b": "y"},
+    ]
+
+    def test_select_rows_with_predicate(self):
+        assert select_rows(self.ROWS, IsNull("b")) == [{"a": 2, "b": None}]
+
+    def test_select_rows_with_callable(self):
+        assert len(select_rows(self.ROWS, lambda r: r["a"] == 1)) == 2
+
+    def test_select_rows_none(self):
+        assert select_rows(self.ROWS) == self.ROWS
+
+    def test_project_distinct(self):
+        assert project(self.ROWS, ["a"]) == [(1,), (2,)]
+
+    def test_project_keeps_duplicates_when_asked(self):
+        assert project(self.ROWS, ["a"], distinct=False) == [(1,), (2,), (1,)]
+
+    def test_project_drop_null(self):
+        assert project(self.ROWS, ["b"], drop_null=True) == [("x",), ("y",)]
+
+    def test_group_by(self):
+        groups = group_by(self.ROWS, ["a"])
+        assert len(groups[(1,)]) == 2
+        assert len(groups[(2,)]) == 1
+
+    def test_duplicates(self):
+        assert duplicates(self.ROWS, ["a"]) == [(1,)]
+
+    def test_duplicates_ignores_null(self):
+        rows = [{"k": None}, {"k": None}]
+        assert duplicates(rows, ["k"]) == []
+        assert duplicates(rows, ["k"], ignore_null=False) == [(None,)]
+
+
+class TestEquijoin:
+    def test_basic_join(self):
+        left = [{"id": 1, "v": "a"}, {"id": 2, "v": "b"}]
+        right = [{"ref": 1, "w": "x"}, {"ref": 1, "w": "y"}]
+        joined = equijoin(left, right, [("id", "ref")])
+        assert len(joined) == 2
+        assert {row["r_w"] for row in joined} == {"x", "y"}
+        assert all(row["l_id"] == 1 for row in joined)
+
+    def test_null_never_joins(self):
+        left = [{"id": None}]
+        right = [{"ref": None}]
+        assert equijoin(left, right, [("id", "ref")]) == []
+
+    def test_requires_pairs(self):
+        with pytest.raises(ValueError):
+            equijoin([], [], [])
+
+
+@pytest.fixture
+def schema():
+    s = RelationalSchema("s")
+    s.add_domain(Domain("D_Id", char(6)))
+    s.add_domain(Domain("D_Big", char(200)))
+    s.add_relation(Relation("Narrow", (Attribute("Paper_Id", "D_Id"),)))
+    s.add_relation(
+        Relation(
+            "Wide",
+            (Attribute("Paper_Id_with", "D_Id"), Attribute("Blob", "D_Big")),
+        )
+    )
+    return s
+
+
+class TestCostModel:
+    def test_row_bytes(self, schema):
+        assert row_bytes(schema, "Narrow") == 6
+        assert row_bytes(schema, "Wide") == 206
+
+    def test_heap_pages_grow_with_rows(self):
+        model = CostModel()
+        assert model.heap_pages(100, 0) == 0
+        assert model.heap_pages(100, 10) == 1
+        assert model.heap_pages(100, 10_000) > model.heap_pages(100, 100)
+
+    def test_index_depth_grows_logarithmically(self):
+        model = CostModel()
+        assert model.index_depth(1) == 1
+        assert model.index_depth(10**6) >= model.index_depth(10**3)
+
+    def test_scan_cost_wider_rows_cost_more(self, schema):
+        stats = TableStatistics(default_rows=10_000)
+        assert scan_cost(schema, "Wide", stats) > scan_cost(schema, "Narrow", stats)
+
+    def test_point_lookup_cost(self, schema):
+        stats = TableStatistics(default_rows=10_000)
+        cost = point_lookup_cost(schema, "Narrow", stats)
+        assert cost >= 2  # at least one index level + heap page
+
+    def test_entity_fetch_cost_scales_with_table_count(self, schema):
+        # The paper's motivation: facts fragmented over more tables
+        # cost proportionally more I/O to reassemble.
+        stats = TableStatistics(default_rows=10_000)
+        one = entity_fetch_cost(schema, ["Narrow"], stats)
+        two = entity_fetch_cost(schema, ["Narrow", "Wide"], stats)
+        assert two > one
+
+    def test_relations_holding_entity(self, schema):
+        found = relations_holding_entity(schema, "Paper_Id")
+        assert set(found) == {"Narrow", "Wide"}
+
+    def test_statistics_override(self):
+        stats = TableStatistics(default_rows=5, rows={"Big": 1_000_000})
+        assert stats.row_count("Big") == 1_000_000
+        assert stats.row_count("Other") == 5

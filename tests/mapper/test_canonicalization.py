@@ -1,0 +1,125 @@
+"""Tests for canonical-form constraint reduction (section 4.1)."""
+
+from repro.brm import Population, SchemaBuilder, char
+from repro.mapper import MappingOptions, MappingState
+from repro.mapper.transformations import canonicalize_constraints
+
+
+def make_state(schema):
+    return MappingState(
+        schema=schema.copy(), options=MappingOptions(), original=schema
+    )
+
+
+class TestSuperfluousConstraintRemoval:
+    def test_duplicates_removed(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.unique("f.x").unique("f.x")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert len(state.schema.uniqueness_constraints()) == 1
+
+    def test_pair_uniqueness_implied_by_single_role(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.unique("f.x", name="SINGLE")
+        b.unique("f.x", "f.y", name="PAIR")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert state.schema.has_constraint("SINGLE")
+        assert not state.schema.has_constraint("PAIR")
+
+    def test_pair_uniqueness_kept_without_single(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B")
+        b.fact("f", ("A", "x"), ("B", "y"), unique="pair")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert len(state.schema.uniqueness_constraints()) == 1
+
+    def test_subset_implied_by_equality(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x"), ("L", "y"))
+        b.equality(("f", "x"), ("g", "x"), name="EQ")
+        b.subset(("f", "x"), ("g", "x"), name="SUB")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert state.schema.has_constraint("EQ")
+        assert not state.schema.has_constraint("SUB")
+
+    def test_independent_subset_kept(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x"), ("L", "y"))
+        b.subset(("f", "x"), ("g", "x"), name="SUB")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert state.schema.has_constraint("SUB")
+
+    def test_total_union_implied_by_total_role(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x2"), ("L", "y"))
+        b.total(("f", "x"), name="TR")
+        b.total_union("A", ("f", "x"), ("g", "x2"), name="TU")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert state.schema.has_constraint("TR")
+        assert not state.schema.has_constraint("TU")
+
+    def test_total_union_kept_without_covering_total_role(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x2"), ("L", "y"))
+        b.total_union("A", ("f", "x"), ("g", "x2"), name="TU")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        assert state.schema.has_constraint("TU")
+
+    def test_removals_recorded_in_trace(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.unique("f.x", name="SINGLE")
+        b.unique("f.x", "f.y", name="PAIR")
+        state = make_state(b.build())
+        canonicalize_constraints(state)
+        step = [s for s in state.steps
+                if s.transformation == "canonicalize-constraints"][0]
+        assert "PAIR" in step.detail
+        assert "implied by single-role uniqueness" in step.detail
+
+    def test_state_space_unchanged(self):
+        """Removed constraints were implied: valid populations of the
+        original schema are exactly those of the canonical one."""
+        b = SchemaBuilder("s")
+        b.nolot("A").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("A", "x"), ("K", "y"))
+        b.fact("g", ("A", "x"), ("L", "y"))
+        b.unique("f.x", name="SINGLE")
+        b.unique("f.x", "f.y", name="PAIR")
+        b.equality(("f", "x"), ("g", "x"), name="EQ")
+        b.subset(("f", "x"), ("g", "x"), name="SUB")
+        schema = b.build()
+        state = make_state(schema)
+        canonicalize_constraints(state)
+        valid = Population(schema)
+        valid.add_fact("f", "a1", "k1")
+        valid.add_fact("g", "a1", "l1")
+        invalid = valid.copy()
+        invalid.add_fact("f", "a1", "k2")  # violates SINGLE
+        for population, expected in ((valid, True), (invalid, False)):
+            mapped = state.to_canonical(population)
+            remapped = Population(state.schema)
+            for fact in state.schema.fact_types:
+                for pair in mapped.fact_instances(fact.name):
+                    remapped.add_fact(fact.name, *pair)
+            assert remapped.is_valid() is expected

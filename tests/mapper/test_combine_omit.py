@@ -1,0 +1,139 @@
+"""Mapping options 4 and 5: combining and omitting tables."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char, numeric
+from repro.cris import figure6_population, figure6_schema
+from repro.errors import MappingError
+from repro.mapper import MappingOptions, NullPolicy, map_schema
+
+
+class TestCombineSatellite:
+    def schema(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot_nolot("Date", char(10))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Date", fact="submission")  # optional
+        return b.build()
+
+    def test_combine_undoes_satellite_split(self):
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_ALLOWED,
+            combine_tables=(("Paper", "Paper_submission"),),
+        )
+        result = map_schema(self.schema(), options)
+        names = {r.name for r in result.relational.relations}
+        assert names == {"Paper"}
+        paper = result.relational.relation("Paper")
+        assert paper.attribute("Date_of").nullable
+
+    def test_combined_round_trip(self):
+        from repro.brm import Population
+
+        schema = self.schema()
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_ALLOWED,
+            combine_tables=(("Paper", "Paper_submission"),),
+        )
+        result = map_schema(schema, options)
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("submission", "p1", "1988-10-01")
+        population.add_fact("Paper_has_Paper_Id", "p2", "P2")
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid()
+        assert result.state_map.backward(database) == canonical
+
+
+class TestCombineSubRelation:
+    def test_combine_sub_into_super(self):
+        schema = figure6_schema()
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_IN_KEYS,  # sub keyed by Paper_Id
+            combine_tables=(("Paper", "Program_Paper"),),
+        )
+        result = map_schema(schema, options)
+        names = {r.name for r in result.relational.relations}
+        assert "Program_Paper" not in names
+        paper = result.relational.relation("Paper")
+        assert "Paper_ProgramId_with" in paper.attribute_names
+        assert paper.attribute("Paper_ProgramId_with").nullable
+
+    def test_combine_generates_membership_lossless_rules(self):
+        schema = figure6_schema()
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_IN_KEYS,
+            combine_tables=(("Paper", "Program_Paper"),),
+        )
+        result = map_schema(schema, options)
+        comments = {c.comment for c in result.relational.checks("Paper")}
+        assert "Equal Existence" in comments  # ProgramId <-> Session
+        assert "Dependent Existence" in comments  # Person -> anchor
+
+    def test_combined_sub_round_trip(self):
+        schema = figure6_schema()
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_IN_KEYS,
+            combine_tables=(("Paper", "Program_Paper"),),
+        )
+        result = map_schema(schema, options)
+        population = figure6_population(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()][:3]
+        assert result.state_map.backward(database) == canonical
+
+    def test_mismatched_keys_rejected(self):
+        schema = figure6_schema()
+        # Under the default policy Program_Paper is keyed by its own
+        # id, not Paper's: a lossless join is impossible.
+        options = MappingOptions(combine_tables=(("Paper", "Program_Paper"),))
+        with pytest.raises(MappingError):
+            map_schema(schema, options)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(MappingError):
+            map_schema(
+                figure6_schema(),
+                MappingOptions(combine_tables=(("Paper", "Nope"),)),
+            )
+
+    def test_memberless_subtype_combine_rejected(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("PP").lot("Paper_Id", char(6))
+        b.lot_nolot("Person", char(30))
+        b.identifier("Paper", "Paper_Id")
+        b.subtype("PP", "Paper")
+        b.attribute("PP", "Person", fact="by")  # optional only
+        options = MappingOptions(combine_tables=(("Paper", "PP"),))
+        with pytest.raises(MappingError):
+            map_schema(b.build(), options)
+
+
+class TestOmitTables:
+    def test_omit_drops_relation_and_records_loss(self):
+        schema = figure6_schema()
+        options = MappingOptions(omit_tables=("Invited_Paper",))
+        result = map_schema(schema, options)
+        names = {r.name for r in result.relational.relations}
+        assert "Invited_Paper" not in names
+        assert any(
+            p.name == "OMITTED$Invited_Paper" for p in result.pseudo_constraints
+        )
+        assert any(s.transformation == "omit-table" for s in result.steps)
+
+    def test_omit_unknown_relation_rejected(self):
+        with pytest.raises(MappingError):
+            map_schema(
+                figure6_schema(), MappingOptions(omit_tables=("Nope",))
+            )
+
+    def test_omitted_table_absent_from_forward_state(self):
+        schema = figure6_schema()
+        result = map_schema(
+            schema, MappingOptions(omit_tables=("Invited_Paper",))
+        )
+        database = result.forward(figure6_population(schema))
+        assert not result.relational.has_relation("Invited_Paper")
+        assert database.is_valid()

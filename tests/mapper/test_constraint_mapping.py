@@ -1,0 +1,259 @@
+"""How surviving binary constraints become relational ones.
+
+Exclusion/equality/subset/total-union constraints either turn into
+same-relation CHECKs (the C_DE$/C_EE$/C_CHK$ shapes), cross-relation
+view constraints (C_EQ$/C_SUB$), or pseudo-SQL specifications — the
+paper's answer to "constraints often considered first class citizens
+in the conceptual modelling seem to become pariahs during the
+transformation" (section 4).
+"""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char, numeric
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.relational import (
+    CheckConstraint,
+    EqualityViewConstraint,
+    SubsetViewConstraint,
+)
+
+
+def base_builder():
+    b = SchemaBuilder("s")
+    b.nolot("Paper").lot("Paper_Id", char(6))
+    b.identifier("Paper", "Paper_Id")
+    b.lot_nolot("Person", char(30)).lot_nolot("Session", numeric(3))
+    b.attribute("Paper", "Person", fact="by")
+    b.attribute("Paper", "Session", fact="during")
+    return b
+
+
+class TestSameRelationChecks:
+    def test_subset_becomes_dependent_existence(self):
+        b = base_builder()
+        b.subset(("by", "with"), ("during", "with"))
+        result = map_schema(b.build())
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Dependent Existence"
+        ]
+        assert len(checks) == 1
+        assert checks[0].name.startswith("C_DE$")
+        assert checks[0].predicate.columns() == {"Person_of", "Session_of"}
+
+    def test_equality_becomes_equal_existence(self):
+        b = base_builder()
+        b.equality(("by", "with"), ("during", "with"))
+        result = map_schema(b.build())
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Equal Existence"
+        ]
+        assert len(checks) == 1
+        assert checks[0].name.startswith("C_EE$")
+
+    def test_exclusion_becomes_check(self):
+        b = base_builder()
+        b.exclusion(("by", "with"), ("during", "with"))
+        result = map_schema(b.build())
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Exclusion"
+        ]
+        assert len(checks) == 1
+        # At most one of the two columns may be present.
+        predicate = checks[0].predicate
+        assert predicate.evaluate({"Person_of": None, "Session_of": 3})
+        assert predicate.evaluate({"Person_of": "x", "Session_of": None})
+        assert not predicate.evaluate({"Person_of": "x", "Session_of": 3})
+
+    def test_total_union_becomes_check(self):
+        b = base_builder()
+        b.total_union("Paper", ("by", "with"), ("during", "with"))
+        result = map_schema(b.build())
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Total Union"
+        ]
+        assert len(checks) == 1
+        predicate = checks[0].predicate
+        assert not predicate.evaluate(
+            {"Person_of": None, "Session_of": None}
+        )
+        assert predicate.evaluate({"Person_of": "x", "Session_of": None})
+
+    def test_subset_with_total_superset_is_consumed(self):
+        b = base_builder()
+        b.total(("during", "with"))
+        b.subset(("by", "with"), ("during", "with"))
+        result = map_schema(b.build())
+        # The superset role covers every row: nothing to check.
+        assert result.relational.checks("Paper") == [] or all(
+            c.comment != "Dependent Existence"
+            for c in result.relational.checks("Paper")
+        )
+
+
+class TestCrossRelationViews:
+    def satellite_options(self):
+        return MappingOptions(null_policy=NullPolicy.NOT_ALLOWED)
+
+    def test_equality_across_satellites_becomes_view(self):
+        b = base_builder()
+        b.equality(("by", "with"), ("during", "with"))
+        result = map_schema(b.build(), self.satellite_options())
+        views = [
+            c
+            for c in result.relational.view_constraints()
+            if isinstance(c, EqualityViewConstraint)
+        ]
+        assert len(views) == 1
+        assert {views[0].left.relation, views[0].right.relation} == {
+            "Paper_by",
+            "Paper_during",
+        }
+
+    def test_subset_across_satellites_becomes_view(self):
+        b = base_builder()
+        b.subset(("by", "with"), ("during", "with"))
+        result = map_schema(b.build(), self.satellite_options())
+        views = [
+            c
+            for c in result.relational.view_constraints()
+            if isinstance(c, SubsetViewConstraint)
+        ]
+        assert len(views) == 1
+        assert views[0].name.startswith("C_SUB$")
+
+    def test_exclusion_across_relations_degrades_to_pseudo(self):
+        b = base_builder()
+        b.exclusion(("by", "with"), ("during", "with"))
+        result = map_schema(b.build(), self.satellite_options())
+        assert any(
+            "EXCLUSION" in p.text for p in result.pseudo_constraints
+        )
+
+    def test_total_role_on_many_to_many_side_becomes_subset_view(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot_nolot("Person", char(30))
+        b.identifier("Paper", "Paper_Id")
+        b.fact("authors", ("Paper", "written_by"), ("Person", "author_of"),
+               unique="pair", total="first")
+        result = map_schema(b.build())
+        views = [
+            c
+            for c in result.relational.view_constraints()
+            if isinstance(c, SubsetViewConstraint)
+        ]
+        assert len(views) == 1
+        assert views[0].subset.relation == "Paper"
+        assert views[0].superset.relation == "authors"
+
+
+class TestSublinkConstraints:
+    def schema_with_subtypes(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("Invited").nolot("Rejected")
+        b.lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.subtype("Invited", "Paper").subtype("Rejected", "Paper")
+        b.exclusion("sublink:Invited_IS_Paper", "sublink:Rejected_IS_Paper")
+        return b.build()
+
+    def test_exclusion_of_indicator_subtypes_becomes_check(self):
+        result = map_schema(
+            self.schema_with_subtypes(),
+            MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+        )
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Exclusion"
+        ]
+        assert len(checks) == 1
+        predicate = checks[0].predicate
+        assert not predicate.evaluate(
+            {"Is_Invited": "Y", "Is_Rejected": "Y"}
+        )
+        assert predicate.evaluate({"Is_Invited": "Y", "Is_Rejected": "N"})
+
+    def test_exclusion_of_separate_subtypes_is_pseudo(self):
+        result = map_schema(self.schema_with_subtypes())
+        assert any(
+            "EXCLUSION" in p.text for p in result.pseudo_constraints
+        ) or any(
+            c.comment == "Exclusion" for c in result.relational.checks()
+        )
+
+    def test_indicator_presence_in_cross_relation_equality(self):
+        # Equality between an INDICATOR subtype and a role in its
+        # sub-relation: the view over the super must test the flag,
+        # not mere non-NULLness.
+        from repro.brm import Population
+
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("A")
+        b.lot("K", char(3)).lot_nolot("V", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("A", "Paper")
+        b.attribute("A", "V", fact="af")
+        b.equality("sublink:A_IS_Paper", ("af", "with"), name="EQ")
+        schema = b.build()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)
+        )
+        views = [
+            c
+            for c in result.relational.view_constraints()
+            if getattr(c, "comment", "") == "role equality"
+        ]
+        assert len(views) == 1
+        assert "Is_A = 'Y'" in views[0].left.where.render()
+        population = Population(schema)
+        population.add_fact("Paper_has_K", "p1", "K1")
+        population.add_fact("Paper_has_K", "p2", "K2")
+        population.add_instance("A", "p1")
+        population.add_fact("af", "p1", "v")
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid()
+
+    def test_frequency_constraint_is_pseudo(self):
+        b = SchemaBuilder("s")
+        b.nolot("Committee").lot("CName", char(20)).lot_nolot("Person", char(30))
+        b.identifier("Committee", "CName")
+        b.fact("member", ("Committee", "having"), ("Person", "serving"))
+        b.unique(("member", "having"), ("member", "serving"))
+        b.frequency(("member", "having"), 2, 5)
+        result = map_schema(b.build())
+        assert any("FREQUENCY" in p.text for p in result.pseudo_constraints)
+
+
+class TestValueConstraints:
+    def test_value_constraint_becomes_in_check(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Status", char(1))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Status", fact="status_of", total=True)
+        b.values("Status", ("A", "R", "P"))
+        result = map_schema(b.build())
+        checks = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Value Restriction"
+        ]
+        assert len(checks) == 1
+        assert checks[0].predicate.evaluate({"Status_of": "A"})
+        assert not checks[0].predicate.evaluate({"Status_of": "X"})
+
+    def test_nullable_column_value_check_accepts_null(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Status", char(1))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Status", fact="status_of")  # optional
+        b.values("Status", ("A", "R"))
+        result = map_schema(b.build())
+        check = [
+            c for c in result.relational.checks("Paper")
+            if c.comment == "Value Restriction"
+        ][0]
+        assert check.predicate.evaluate({"Status_of": None})

@@ -1,0 +1,262 @@
+"""The figure-6 reproduction: four state-equivalent relational schemas.
+
+These tests assert the shapes the paper prints for Alternatives 1-4
+(section 4.2.3): table compositions, nullability (bracketed names),
+keys, foreign keys, and the generated lossless rules C_EQ$ (equality
+view), C_DE$ (dependent existence) and C_EE$ (equal existence).
+"""
+
+import pytest
+
+from repro.cris import figure6_population, figure6_schema
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.relational import (
+    CheckConstraint,
+    EqualityViewConstraint,
+    ForeignKey,
+)
+
+INDICATOR_INVITED = ("Invited_Paper_IS_Paper", SublinkPolicy.INDICATOR)
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return figure6_schema()
+
+
+def columns(result, relation):
+    rel = result.relational.relation(relation)
+    return {a.name: a.nullable for a in rel.attributes}
+
+
+class TestAlternative1Default:
+    @pytest.fixture(scope="class")
+    def result(self, schema):
+        return map_schema(schema)
+
+    def test_three_relations(self, result):
+        names = {r.name for r in result.relational.relations}
+        assert names == {"Paper", "Invited_Paper", "Program_Paper"}
+
+    def test_paper_columns(self, result):
+        cols = columns(result, "Paper")
+        assert cols == {
+            "Paper_Id": False,
+            "Title_of": False,
+            "Date_of_submission": True,
+            "Paper_ProgramId_Is": True,
+        }
+
+    def test_program_paper_columns(self, result):
+        cols = columns(result, "Program_Paper")
+        assert cols == {
+            "Paper_ProgramId": False,
+            "Person_presenting": True,
+            "Session_comprising": False,
+        }
+
+    def test_invited_paper_is_keyed_by_inherited_reference(self, result):
+        assert columns(result, "Invited_Paper") == {"Paper_Id": False}
+        pk = result.relational.primary_key("Invited_Paper")
+        assert pk.columns == ("Paper_Id",)
+
+    def test_sublink_foreign_keys(self, result):
+        fks = result.relational.foreign_keys()
+        edges = {
+            (fk.relation, fk.referenced_relation, fk.referenced_columns)
+            for fk in fks
+        }
+        assert ("Invited_Paper", "Paper", ("Paper_Id",)) in edges
+        # Program_Paper references the sublink attribute in Paper, as
+        # in the paper's generated SQL2 fragment.
+        assert ("Program_Paper", "Paper", ("Paper_ProgramId_Is",)) in edges
+
+    def test_equality_view_lossless_rule(self, result):
+        views = [
+            c
+            for c in result.relational.view_constraints()
+            if isinstance(c, EqualityViewConstraint)
+        ]
+        assert len(views) == 1
+        view = views[0]
+        assert view.left.relation == "Program_Paper"
+        assert view.left.columns == ("Paper_ProgramId",)
+        assert view.right.relation == "Paper"
+        assert view.right.columns == ("Paper_ProgramId_Is",)
+        assert "IS NOT NULL" in view.right.where.render()
+
+
+class TestAlternative2NoNulls:
+    @pytest.fixture(scope="class")
+    def result(self, schema):
+        return map_schema(
+            schema, MappingOptions(null_policy=NullPolicy.NOT_ALLOWED)
+        )
+
+    def test_no_nullable_attribute_anywhere(self, result):
+        for relation in result.relational.relations:
+            for attribute in relation.attributes:
+                assert not attribute.nullable, (relation.name, attribute.name)
+
+    def test_many_small_tables(self, result):
+        # "a large number of small tables will in general be generated"
+        assert len(result.relational.relations) == 5
+        names = {r.name for r in result.relational.relations}
+        assert "Paper_submission" in names
+        assert "Program_Paper_presents" in names
+
+    def test_satellite_shape(self, result):
+        cols = columns(result, "Paper_submission")
+        assert cols == {"Paper_Id": False, "Date_of_submission": False}
+        fks = result.relational.foreign_keys("Paper_submission")
+        assert fks[0].referenced_relation == "Paper"
+
+    def test_sub_relation_keyed_by_inherited_reference(self, result):
+        # The nullable `_Is` attribute is not acceptable here, so the
+        # sub-relation carries the super's key and its own id becomes
+        # a mandatory candidate-key column.
+        cols = columns(result, "Program_Paper")
+        assert cols == {
+            "Paper_Id": False,
+            "Paper_ProgramId_with": False,
+            "Session_comprising": False,
+        }
+        pk = result.relational.primary_key("Program_Paper")
+        assert pk.columns == ("Paper_Id",)
+
+
+class TestAlternative3Indicator:
+    @pytest.fixture(scope="class")
+    def result(self, schema):
+        return map_schema(
+            schema, MappingOptions(sublink_overrides=(INDICATOR_INVITED,))
+        )
+
+    def test_two_relations_only(self, result):
+        # The factless Invited_Paper sub-relation is omitted; its
+        # membership is the indicator attribute.
+        names = {r.name for r in result.relational.relations}
+        assert names == {"Paper", "Program_Paper"}
+
+    def test_paper_columns_match_paper_listing(self, result):
+        cols = columns(result, "Paper")
+        assert cols == {
+            "Paper_Id": False,
+            "Title_of": False,
+            "Date_of_submission": True,
+            "Is_Invited_Paper": False,
+            "Paper_ProgramId_Is": True,
+        }
+
+    def test_indicator_is_value_restricted(self, result):
+        checks = result.relational.checks("Paper")
+        value_checks = [c for c in checks if c.comment == "Value Restriction"]
+        assert len(value_checks) == 1
+        assert "Is_Invited_Paper" in value_checks[0].predicate.columns()
+
+    def test_equality_view_c_eq(self, result):
+        views = result.relational.view_constraints()
+        assert any(c.name.startswith("C_EQ$") for c in views)
+
+    def test_program_paper_matches_generated_fragment(self, result):
+        cols = columns(result, "Program_Paper")
+        assert cols == {
+            "Paper_ProgramId": False,
+            "Person_presenting": True,
+            "Session_comprising": False,
+        }
+        fk = result.relational.foreign_keys("Program_Paper")[0]
+        assert fk.referenced_columns == ("Paper_ProgramId_Is",)
+
+
+class TestAlternative4Together:
+    @pytest.fixture(scope="class")
+    def result(self, schema):
+        return map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+
+    def test_single_relation(self, result):
+        assert [r.name for r in result.relational.relations] == ["Paper"]
+
+    def test_columns_match_paper_listing(self, result):
+        cols = columns(result, "Paper")
+        assert cols == {
+            "Paper_Id": False,
+            "Title_of": False,
+            "Date_of_submission": True,
+            "Paper_ProgramId_with": True,
+            "Person_presenting": True,
+            "Session_comprising": True,
+            "Is_Invited_Paper": False,
+        }
+
+    def test_dependent_existence_c_de(self, result):
+        # C_DE$_8: Person_presenting requires Paper_ProgramId_with.
+        checks = [
+            c
+            for c in result.relational.checks("Paper")
+            if c.comment == "Dependent Existence"
+        ]
+        assert len(checks) == 1
+        assert checks[0].name.startswith("C_DE$")
+        assert checks[0].predicate.columns() == {
+            "Person_presenting",
+            "Paper_ProgramId_with",
+        }
+
+    def test_equal_existence_c_ee(self, result):
+        # C_EE$_6: Paper_ProgramId_with and Session_comprising are
+        # NULL together or NOT NULL together.
+        checks = [
+            c
+            for c in result.relational.checks("Paper")
+            if c.comment == "Equal Existence"
+        ]
+        assert len(checks) == 1
+        assert checks[0].name.startswith("C_EE$")
+        assert checks[0].predicate.columns() == {
+            "Paper_ProgramId_with",
+            "Session_comprising",
+        }
+
+    def test_program_id_is_candidate_key(self, result):
+        candidates = result.relational.candidate_keys("Paper")
+        assert ("Paper_ProgramId_with",) in [c.columns for c in candidates]
+
+
+class TestStateEquivalenceOfAllAlternatives:
+    """The four alternatives are state equivalent (section 4.2.3)."""
+
+    OPTIONS = [
+        MappingOptions(),
+        MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+        MappingOptions(sublink_overrides=(INDICATOR_INVITED,)),
+        MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+    ]
+
+    @pytest.mark.parametrize("options", OPTIONS, ids=["alt1", "alt2", "alt3", "alt4"])
+    def test_round_trip(self, schema, options):
+        result = map_schema(schema, options)
+        population = figure6_population(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()]
+        assert result.state_map.backward(database) == canonical
+
+    def test_same_information_content(self, schema):
+        # Forward through one alternative, backward, forward through
+        # another: the two databases describe the same state.
+        population = figure6_population(schema)
+        results = [map_schema(schema, o) for o in self.OPTIONS]
+        canonicals = []
+        for result in results:
+            canonical = result.canonicalize(
+                result.state.to_canonical(population)
+            )
+            back = result.state_map.backward(
+                result.state_map.forward(canonical)
+            )
+            canonicals.append(result.state.from_canonical(back).as_dict())
+        for other in canonicals[1:]:
+            assert other == canonicals[0]

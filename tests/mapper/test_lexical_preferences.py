@@ -1,0 +1,88 @@
+"""The lexical mapping option end-to-end (section 4.2.3).
+
+"RIDL-M selects for each NOLOT the 'smallest' lexical representation
+type ... Since this limits the freedom of the database engineer,
+flexibility needs to be added to allow selection for each NOLOT of
+the preferred lexical representation."
+"""
+
+import pytest
+
+from repro.brm import Population, SchemaBuilder, char, numeric
+from repro.errors import AnalysisError, SchemaError
+from repro.mapper import MappingOptions, map_schema
+
+
+def person_schema():
+    b = SchemaBuilder("s")
+    b.nolot("Person")
+    b.lot("Ssn", numeric(9)).lot("FullName", char(60))
+    b.identifier("Person", "Ssn")
+    b.identifier("Person", "FullName")
+    b.lot_nolot("City", char(20))
+    b.attribute("Person", "City", fact="lives_in", total=True)
+    b.nolot("Account").lot("AccNr", char(8))
+    b.identifier("Account", "AccNr")
+    b.fact(
+        "holder",
+        ("Account", "held_by"),
+        ("Person", "holding"),
+        unique="first",
+        total="first",
+    )
+    return b.build()
+
+
+class TestDefaultSmallest:
+    def test_smallest_representation_is_primary_key(self):
+        result = map_schema(person_schema())
+        assert result.relational.primary_key("Person").columns == ("Ssn",)
+        # The other naming convention is still present, as a mandatory
+        # candidate-key column.
+        person = result.relational.relation("Person")
+        assert "FullName_with" in person.attribute_names
+
+    def test_references_use_the_chosen_representation(self):
+        result = map_schema(person_schema())
+        account = result.relational.relation("Account")
+        assert "Ssn_holding" in account.attribute_names
+
+
+class TestPreferenceOverride:
+    def options(self):
+        return MappingOptions(
+            lexical_preferences=(("Person", ("Person_has_FullName",)),)
+        )
+
+    def test_preferred_representation_becomes_key(self):
+        result = map_schema(person_schema(), self.options())
+        assert result.relational.primary_key("Person").columns == (
+            "FullName",
+        )
+        account = result.relational.relation("Account")
+        assert "FullName_holding" in account.attribute_names
+
+    def test_preference_round_trip(self):
+        schema = person_schema()
+        population = Population(schema)
+        population.add_fact("Person_has_Ssn", "p", 123456789)
+        population.add_fact("Person_has_FullName", "p", "Ann Smith")
+        population.add_fact("lives_in", "p", "Tilburg")
+        population.add_fact("Account_has_AccNr", "a", "ACC1")
+        population.add_fact("holder", "a", "p")
+        result = map_schema(schema, self.options())
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        # The canonical identity follows the chosen scheme.
+        assert "Ann Smith" in canonical.instances("Person")
+        database = result.state_map.forward(canonical)
+        assert database.is_valid()
+        assert result.state_map.backward(database) == canonical
+
+    def test_unknown_preference_rejected(self):
+        with pytest.raises((SchemaError, AnalysisError)):
+            map_schema(
+                person_schema(),
+                MappingOptions(
+                    lexical_preferences=(("Person", ("no_such_fact",)),)
+                ),
+            )

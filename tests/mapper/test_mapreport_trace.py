@@ -1,0 +1,105 @@
+"""Tests for the map report and the transformation trace."""
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+
+INDICATOR_INVITED = ("Invited_Paper_IS_Paper", SublinkPolicy.INDICATOR)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return map_schema(
+        figure6_schema(),
+        MappingOptions(sublink_overrides=(INDICATOR_INVITED,)),
+    )
+
+
+class TestForwardsMap:
+    def test_fact_mapping_matches_paper_fragment(self, result):
+        # Paper fragment 1: the presents fact maps to a SELECT with a
+        # NOT NULL filter on the optional column.
+        report = result.map_report()
+        assert (
+            "FACT WITH ROLE presented_by ON NOLOT Program_Paper AND ROLE "
+            "presenting ON LOT-NOLOT Person" in report
+        )
+        index = report.index("ROLE presented_by")
+        block = report[index:index + 400]
+        assert "SELECT Paper_ProgramId , Person_presenting" in block
+        assert "FROM Program_Paper" in block
+        assert "WHERE ( Person_presenting IS NOT NULL )" in block
+
+    def test_sublink_mapping_matches_paper_fragment(self, result):
+        report = result.map_report()
+        assert "SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper" in report
+        index = report.index("SUBLINK IS FROM NOLOT Program_Paper")
+        block = report[index:index + 300]
+        assert "SELECT Paper_ProgramId_Is , Paper_Id" in block
+        assert "WHERE ( Paper_ProgramId_Is IS NOT NULL )" in block
+
+    def test_identifier_mapping_matches_paper_fragment(self, result):
+        report = result.map_report()
+        assert "IDENTIFIER : ROLE with ON NOLOT Paper AND LOT Paper_Id" in report
+        index = report.index("IDENTIFIER : ROLE with ON NOLOT Paper")
+        block = report[index:index + 300]
+        assert "UNIQUE ( Paper_Id )" in block
+        assert "ON Paper" in block
+        assert "CONSTRAINT C_KEY$" in block
+
+    def test_every_fact_appears_in_forwards_map(self, result):
+        concepts = {concept for concept, _ in result.provenance.forward}
+        for fact in result.canonical.fact_types:
+            assert any(fact.first.name in c and fact.second.name in c
+                       for c in concepts), fact.name
+
+
+class TestBackwardsMap:
+    def test_table_derivation(self, result):
+        report = result.map_report()
+        index = report.index("TABLE Paper\n")
+        block = report[index:index + 700]
+        assert "DERIVED FROM" in block
+        assert "NOLOT Paper" in block
+        assert "FACT WITH ROLE with ON NOLOT Paper AND ROLE of ON LOT Title" in block
+        assert "SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper" in block
+
+    def test_column_derivation(self, result):
+        report = result.map_report()
+        assert "COLUMN Paper_ProgramId IN TABLE Program_Paper" in report
+
+    def test_foreign_key_derivation(self, result):
+        report = result.map_report()
+        index = report.index("FOREIGN KEY Program_Paper")
+        block = report[index:index + 400]
+        assert "REFERENCES Paper ( Paper_ProgramId_Is )" in block
+        assert "SUBLINK IS FROM NOLOT Program_Paper TO NOLOT Paper" in block
+
+    def test_equality_view_derivation_lists_concepts(self, result):
+        report = result.map_report()
+        index = report.index("EQUALITY VIEW CONSTRAINT :")
+        block = report[index:index + 900]
+        assert "DERIVED FROM" in block
+        assert "NOLOT Program_Paper" in block
+
+
+class TestTrace:
+    def test_trace_lists_applied_steps(self, result):
+        trace = result.trace_report()
+        assert "add-indicator" in trace
+        assert "group-functional-facts" in trace
+        assert "store-sublink-in-super" in trace
+        assert "sublink-lossless-rule" in trace
+
+    def test_lossless_rules_recorded_on_steps(self, result):
+        rules = [
+            name for step in result.steps for name in step.lossless_rules
+        ]
+        assert any(name.startswith("C_EQ$") for name in rules)
+
+    def test_stats_summary(self, result):
+        stats = result.stats()
+        assert stats["relations"] == 2
+        assert stats["steps"] == len(result.steps)
+        assert "pseudo_constraints" in stats

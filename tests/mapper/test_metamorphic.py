@@ -1,0 +1,221 @@
+"""Metamorphic tests: conceptual violations surface relationally.
+
+The point of the lossless rules is that the relational schema admits
+*exactly* the images of valid conceptual states.  So: take a valid
+population, corrupt it in a schema-meaningful way (the corruption
+classes mirror the constraint taxonomy), push the corrupted state
+through the forward mapping — the generated relational constraints
+must reject it.  If a corruption slipped through, STATES(S2) would be
+strictly larger than g(STATES(S1)) and the transformation lossy.
+"""
+
+import pytest
+
+from repro.brm import Population, SchemaBuilder, char, numeric
+from repro.cris import figure6_population, figure6_schema
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+
+ALL_OPTIONS = [
+    MappingOptions(),
+    MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+    MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+]
+IDS = ["alt1", "alt2", "indicator", "together"]
+
+
+def forward_violations(schema, population, options):
+    """Forward-map without assuming validity; return violation names.
+
+    Deliberately skips canonicalization: renaming instances to their
+    reference values would *merge* duplicate-identifier corruptions
+    away; the forward interpretation works on abstract instances.
+    """
+    result = map_schema(schema, options)
+    canonical = result.state.to_canonical(population)
+    database = result.state_map.forward(canonical)
+    return {v.constraint_name for v in database.check()}
+
+
+class TestFigure6Corruptions:
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_valid_population_maps_cleanly(self, options):
+        schema = figure6_schema()
+        assert forward_violations(
+            schema, figure6_population(schema), options
+        ) == set()
+
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_duplicate_identifier_caught(self, options):
+        # Two papers sharing one Paper_Id: uniqueness of the naming
+        # convention must surface as a key violation.
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p9", "P1")
+        population.add_fact("Paper_has_Title", "p9", "Impostor")
+        violations = forward_violations(schema, population, options)
+        assert any(name.startswith("C_KEY$") or "NOT NULL" in name
+                   for name in violations), violations
+
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_missing_mandatory_fact_caught(self, options):
+        # A paper without a title: totality must surface as NOT NULL
+        # (or a missing satellite row under NULL NOT ALLOWED).
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p9", "P9")
+        violations = forward_violations(schema, population, options)
+        assert violations, "titleless paper must be rejected"
+
+    @pytest.mark.parametrize(
+        "options",
+        [MappingOptions(), MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)],
+        ids=["alt1", "indicator"],
+    )
+    def test_program_paper_without_session_caught(self, options):
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        population.add_instance("Program_Paper", "p3")
+        population.add_fact(
+            "Program_Paper_has_Paper_ProgramId", "p3", "A3"
+        )  # but never scheduled
+        violations = forward_violations(schema, population, options)
+        assert any("NOT NULL" in name for name in violations), violations
+
+    def test_program_paper_without_session_caught_together(self):
+        # Under TOGETHER the same corruption trips the C_EE$ rule.
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        population.add_instance("Program_Paper", "p3")
+        population.add_fact("Program_Paper_has_Paper_ProgramId", "p3", "A3")
+        violations = forward_violations(
+            schema,
+            population,
+            MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+        )
+        assert any(name.startswith("C_EE$") for name in violations)
+
+    def test_presenter_outside_subtype_caught_together(self):
+        # A presenter on a paper that is not a Program_Paper violates
+        # the dependent-existence rule under TOGETHER.
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        # Bypass the schema (presents is played by Program_Paper) by
+        # corrupting at the canonical level: map first, then insert.
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        database = result.forward(population)
+        database.insert(
+            "Paper",
+            {
+                "Paper_Id": "P9",
+                "Title_of": "x",
+                "Is_Invited_Paper": "N",
+                "Person_presenting": "Eve",
+            },
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_DE$") for name in names)
+
+    def test_dangling_sublink_attribute_caught(self):
+        # Non-NULL Paper_ProgramId_Is without a Program_Paper row: the
+        # C_EQ$ equality view must fire (default option set).
+        schema = figure6_schema()
+        result = map_schema(schema)
+        database = result.forward(figure6_population(schema))
+        database.insert(
+            "Paper",
+            {"Paper_Id": "P9", "Title_of": "x", "Paper_ProgramId_Is": "A9"},
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_EQ$") for name in names)
+
+    def test_orphan_sub_row_caught(self):
+        # A Program_Paper row referencing no Paper: foreign key fires.
+        schema = figure6_schema()
+        result = map_schema(schema)
+        database = result.forward(figure6_population(schema))
+        database.insert(
+            "Program_Paper",
+            {"Paper_ProgramId": "A9", "Session_comprising": 9},
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith(("C_FKEY$", "C_EQ$")) for name in names)
+
+
+class TestSetAlgebraicCorruptions:
+    def schema(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.lot_nolot("Person", char(30)).lot_nolot("Session", numeric(3))
+        b.attribute("Paper", "Person", fact="by")
+        b.attribute("Paper", "Session", fact="during")
+        return b
+
+    def test_subset_violation_surfaces_as_check(self):
+        b = self.schema()
+        b.subset(("by", "with"), ("during", "with"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("by", "p1", "Ann")  # by without during
+        violations = forward_violations(schema, population, MappingOptions())
+        assert any(name.startswith("C_DE$") for name in violations)
+
+    def test_equality_violation_surfaces_as_check(self):
+        b = self.schema()
+        b.equality(("by", "with"), ("during", "with"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("during", "p1", 3)
+        violations = forward_violations(schema, population, MappingOptions())
+        assert any(name.startswith("C_EE$") for name in violations)
+
+    def test_exclusion_violation_surfaces_as_check(self):
+        b = self.schema()
+        b.exclusion(("by", "with"), ("during", "with"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("by", "p1", "Ann")
+        population.add_fact("during", "p1", 3)
+        violations = forward_violations(schema, population, MappingOptions())
+        assert any(name.startswith("C_CHK$") for name in violations)
+
+    def test_total_union_violation_surfaces_as_check(self):
+        b = self.schema()
+        b.total_union("Paper", ("by", "with"), ("during", "with"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        # p1 plays neither role.
+        violations = forward_violations(schema, population, MappingOptions())
+        assert any(name.startswith("C_CHK$") for name in violations)
+
+    def test_value_violation_surfaces_as_check(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Status", char(1))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Status", fact="status_of", total=True)
+        b.values("Status", ("A", "R"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("status_of", "p1", "Z")  # illegal value
+        violations = forward_violations(schema, population, MappingOptions())
+        assert any(name.startswith("C_VAL$") for name in violations)
+
+    def test_cross_relation_subset_surfaces_as_view(self):
+        b = self.schema()
+        b.subset(("by", "with"), ("during", "with"))
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("Paper_has_Paper_Id", "p1", "P1")
+        population.add_fact("by", "p1", "Ann")
+        violations = forward_violations(
+            schema, population, MappingOptions(null_policy=NullPolicy.NOT_ALLOWED)
+        )
+        assert any(name.startswith("C_SUB$") for name in violations)

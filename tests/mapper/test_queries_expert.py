@@ -1,0 +1,246 @@
+"""Tests for the conceptual query compiler and the expert-rule advisor."""
+
+import pytest
+
+from repro.cris import figure6_population, figure6_schema
+from repro.engine.cost import TableStatistics
+from repro.errors import MappingError
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.mapper.expert import (
+    QueryPattern,
+    QueryProfile,
+    candidate_option_sets,
+    recommend_options,
+)
+from repro.ridl import (
+    ConceptualQuery,
+    FactSelection,
+    QueryCompiler,
+    SubtypeFilter,
+    ValueFilter,
+)
+
+ALL_OPTIONS = [
+    ("alt1", MappingOptions()),
+    ("alt2", MappingOptions(null_policy=NullPolicy.NOT_ALLOWED)),
+    ("indicator", MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)),
+    ("alt4", MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)),
+]
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return figure6_schema()
+
+
+@pytest.fixture(scope="module")
+def population(schema):
+    return figure6_population(schema)
+
+
+class TestCompilation:
+    def test_anchor_only_query(self, schema, population):
+        result = map_schema(schema)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery(
+                "Paper",
+                selections=(FactSelection("Paper_has_Title", optional=False),),
+            )
+        )
+        assert compiled.relations_touched == ["Paper"]
+        assert "SELECT Paper_Id, Title_of" in compiled.sql_text()
+
+    def test_subtype_fact_joins_through_sublink_attribute(self, schema):
+        result = map_schema(schema)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery("Paper", selections=(FactSelection("scheduled"),))
+        )
+        assert compiled.relations_touched == ["Paper", "Program_Paper"]
+        # The join goes through the `_Is` sublink attribute, exactly
+        # as the map report prescribes.
+        assert compiled.steps[0].join_on == (
+            ("Paper_ProgramId_Is", "Paper_ProgramId"),
+        )
+
+    def test_unknown_fact_rejected(self, schema):
+        compiler = QueryCompiler(map_schema(schema))
+        with pytest.raises(MappingError):
+            compiler.compile(
+                ConceptualQuery("Paper", selections=(FactSelection("nope"),))
+            )
+
+    def test_unrelated_fact_rejected(self, schema):
+        compiler = QueryCompiler(map_schema(schema))
+        with pytest.raises(MappingError):
+            compiler.compile(
+                ConceptualQuery(
+                    "Session", selections=(FactSelection("Paper_has_Title"),)
+                )
+            )
+
+    def test_unanchored_type_rejected(self, schema):
+        compiler = QueryCompiler(map_schema(schema))
+        with pytest.raises(MappingError):
+            compiler.compile(ConceptualQuery("Person"))
+
+    def test_omitted_fact_rejected(self, schema):
+        result = map_schema(
+            schema, MappingOptions(omit_tables=("Invited_Paper",))
+        )
+        compiler = QueryCompiler(result)
+        # Invited_Paper had no facts; but querying for a fact whose
+        # table was omitted must fail loudly, so omit a satellite.
+        result2 = map_schema(
+            schema,
+            MappingOptions(
+                null_policy=NullPolicy.NOT_ALLOWED,
+                omit_tables=("Paper_submission",),
+            ),
+        )
+        compiler2 = QueryCompiler(result2)
+        with pytest.raises(MappingError):
+            compiler2.compile(
+                ConceptualQuery(
+                    "Paper", selections=(FactSelection("submission"),)
+                )
+            )
+
+
+class TestExecution:
+    @pytest.mark.parametrize("label,options", ALL_OPTIONS)
+    def test_same_answers_under_every_physical_design(
+        self, schema, population, label, options
+    ):
+        """One conceptual query; four physical designs; one answer."""
+        result = map_schema(schema, options)
+        database = result.forward(population)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery(
+                "Paper",
+                selections=(
+                    FactSelection("Paper_has_Title", optional=False),
+                    FactSelection("submission"),
+                    FactSelection("scheduled"),
+                ),
+            )
+        )
+        answers = {
+            (row["Paper"], row["Paper_has_Title"], row["submission"],
+             row["scheduled"])
+            for row in compiler.execute(compiled, database)
+        }
+        assert answers == {
+            ("P1", "On Conference Databases", "1988-10-01", 101),
+            ("P2", "Binary Models Revisited", None, 102),
+            ("P3", "A Late Submission", "1988-12-24", None),
+        }
+
+    @pytest.mark.parametrize("label,options", ALL_OPTIONS)
+    def test_subtype_filter_under_every_design(
+        self, schema, population, label, options
+    ):
+        result = map_schema(schema, options)
+        database = result.forward(population)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery(
+                "Paper",
+                selections=(FactSelection("Paper_has_Title", optional=False),),
+                filters=(SubtypeFilter("Invited_Paper"),),
+            )
+        )
+        answers = compiler.execute(compiled, database)
+        assert [row["Paper"] for row in answers] == ["P1"]
+
+    def test_value_filter(self, schema, population):
+        result = map_schema(schema)
+        database = result.forward(population)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery(
+                "Paper",
+                selections=(FactSelection("Paper_has_Title", optional=False),),
+                filters=(ValueFilter("Paper_has_Title",
+                                     "Binary Models Revisited"),),
+            )
+        )
+        answers = compiler.execute(compiled, database)
+        assert [row["Paper"] for row in answers] == ["P2"]
+
+    def test_mandatory_selection_drops_lacking_instances(
+        self, schema, population
+    ):
+        result = map_schema(schema)
+        database = result.forward(population)
+        compiler = QueryCompiler(result)
+        compiled = compiler.compile(
+            ConceptualQuery(
+                "Paper",
+                selections=(FactSelection("scheduled", optional=False),),
+            )
+        )
+        answers = compiler.execute(compiled, database)
+        assert {row["Paper"] for row in answers} == {"P1", "P2"}
+
+
+class TestExpertRules:
+    def hot_profile(self):
+        return QueryProfile(
+            (
+                QueryPattern(
+                    "Paper",
+                    ("Paper_has_Title", "submission", "presents", "scheduled"),
+                    frequency=100.0,
+                ),
+            )
+        )
+
+    def test_candidates_cover_policies_and_sublinks(self, schema):
+        labels = [label for label, _ in candidate_option_sets(schema)]
+        assert "default (SEPARATE)" in labels
+        assert "TOGETHER everywhere" in labels
+        assert any("Program_Paper_IS_Paper" in label for label in labels)
+
+    def test_hot_co_access_recommends_denormalization(self, schema):
+        recommendation = recommend_options(
+            schema,
+            self.hot_profile(),
+            statistics=TableStatistics(default_rows=100_000),
+        )
+        assert "TOGETHER" in recommendation.best.label
+        by_label = {e.label: e for e in recommendation.ranking}
+        assert (
+            recommendation.best.weighted_cost
+            < by_label["default (SEPARATE)"].weighted_cost
+        )
+        assert (
+            by_label["NULL NOT ALLOWED"].weighted_cost
+            > by_label["default (SEPARATE)"].weighted_cost
+        )
+
+    def test_cold_workload_keeps_default(self, schema):
+        recommendation = recommend_options(
+            schema,
+            QueryProfile(
+                (QueryPattern("Paper", ("Paper_has_Title",), frequency=1.0),)
+            ),
+        )
+        assert recommendation.best.label == "default (SEPARATE)"
+
+    def test_render_lists_all_candidates(self, schema):
+        recommendation = recommend_options(schema, self.hot_profile())
+        rendered = recommendation.render()
+        assert "<= recommended" in rendered
+        assert "default (SEPARATE)" in rendered
+
+    def test_profile_requires_patterns(self):
+        with pytest.raises(ValueError):
+            QueryProfile(())
+
+    def test_recommended_options_actually_map(self, schema):
+        recommendation = recommend_options(schema, self.hot_profile())
+        result = map_schema(schema, recommendation.best.options)
+        assert result.relational.relations

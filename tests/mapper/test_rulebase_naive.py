@@ -1,0 +1,171 @@
+"""Tests for the rule-driven engine and the naive baseline."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import cris_schema, figure6_schema
+from repro.errors import AnalysisError, MappingError, NotReferableError
+from repro.mapper import (
+    MappingOptions,
+    MappingState,
+    Rule,
+    TransformationEngine,
+    default_rule_base,
+    map_schema,
+)
+from repro.mapper.naive import dropped_constraints, naive_map
+
+
+class TestRuleEngine:
+    def test_default_rules_fire_once_each(self):
+        schema = figure6_schema()
+        state = MappingState(
+            schema=schema.copy(), options=MappingOptions(), original=schema
+        )
+        engine = TransformationEngine()
+        engine.run(state)
+        fired = {f for f in state.flags if f.startswith("fired:")}
+        assert fired == {
+            "fired:restrict-scope",
+            "fired:canonicalize",
+            "fired:sublink-options",
+        }
+
+    def test_custom_rule_appended(self):
+        schema = figure6_schema()
+        state = MappingState(
+            schema=schema.copy(), options=MappingOptions(), original=schema
+        )
+        seen = []
+
+        def action(s):
+            seen.append(s.schema.name)
+
+        engine = TransformationEngine()
+        engine.add_rule(
+            Rule(
+                "expert",
+                lambda s: "fired:expert" not in s.flags,
+                action,
+            )
+        )
+        engine.run(state)
+        assert seen == ["figure6"]
+
+    def test_rule_insertion_before_named_rule(self):
+        engine = TransformationEngine()
+        engine.add_rule(
+            Rule("early", lambda s: False, lambda s: None),
+            before="canonicalize",
+        )
+        names = [r.name for r in engine.rules]
+        assert names.index("early") < names.index("canonicalize")
+
+    def test_insert_before_unknown_rule_rejected(self):
+        engine = TransformationEngine()
+        with pytest.raises(MappingError):
+            engine.add_rule(
+                Rule("x", lambda s: False, lambda s: None), before="nope"
+            )
+
+    def test_non_quiescing_rule_detected(self):
+        schema = figure6_schema()
+        state = MappingState(
+            schema=schema.copy(), options=MappingOptions(), original=schema
+        )
+        engine = TransformationEngine(
+            [Rule("loop", lambda s: True, lambda s: None)]
+        )
+        with pytest.raises(MappingError):
+            engine.run(state, max_firings=10)
+
+    def test_extra_rules_via_map_schema(self):
+        observed = []
+        rule = Rule(
+            "observer",
+            lambda s: "fired:observer" not in s.flags,
+            lambda s: observed.append(len(s.schema.fact_types)),
+        )
+        map_schema(figure6_schema(), extra_rules=(rule,))
+        assert observed
+
+
+class TestAnalyzerGate:
+    def test_unmappable_schema_refused(self):
+        b = SchemaBuilder("bad")
+        b.nolot("Ghost").lot("K", char(3))
+        b.attribute("Ghost", "K")
+        with pytest.raises(AnalysisError):
+            map_schema(b.build())
+
+    def test_gate_can_be_skipped(self):
+        b = SchemaBuilder("bad")
+        b.nolot("Ghost").lot("K", char(3))
+        b.attribute("Ghost", "K")
+        # Without the gate, the synthesis itself reports the problem.
+        with pytest.raises(NotReferableError):
+            map_schema(b.build(), analyze_first=False)
+
+
+class TestNaiveBaseline:
+    def test_one_relation_per_nolot_plus_m2m(self):
+        schema = cris_schema()
+        rschema = naive_map(schema)
+        names = {r.name for r in rschema.relations}
+        assert names == {
+            "Person",
+            "Referee",
+            "Paper",
+            "Program_Paper",
+            "Session",
+            "assigned_to_rel",
+            "committee_member_rel",
+        }
+
+    def test_subtype_gets_supertype_reference(self):
+        rschema = naive_map(figure6_schema())
+        invited = rschema.relation("Invited_Paper")
+        assert any("IS_Paper" in n for n in invited.attribute_names)
+        fks = rschema.foreign_keys("Invited_Paper")
+        assert any(fk.referenced_relation == "Paper" for fk in fks)
+
+    def test_always_normalized_no_lossless_rules(self):
+        rschema = naive_map(figure6_schema())
+        assert rschema.view_constraints() == []
+        assert rschema.checks() == []
+
+    def test_dropped_constraints_reported(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("A").nolot("B").lot("K", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("A", "Paper").subtype("B", "Paper")
+        b.exclusion("sublink:A_IS_Paper", "sublink:B_IS_Paper")
+        lost = dropped_constraints(b.build())
+        assert len(lost) == 1  # the exclusion
+
+    def test_ridlm_conserves_what_naive_drops(self):
+        from repro.mapper import SublinkPolicy
+
+        b = SchemaBuilder("s")
+        b.nolot("Paper").nolot("A").nolot("B").lot("K", char(3))
+        b.identifier("Paper", "K")
+        b.subtype("A", "Paper").subtype("B", "Paper")
+        b.exclusion("sublink:A_IS_Paper", "sublink:B_IS_Paper")
+        schema = b.build()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)
+        )
+        # RIDL-M keeps the exclusion as a CHECK on the indicators; the
+        # naive algorithm loses it entirely.
+        assert any(
+            c.comment == "Exclusion" for c in result.relational.checks()
+        )
+        assert dropped_constraints(schema)
+
+    def test_naive_requires_referability(self):
+        b = SchemaBuilder("s")
+        b.nolot("Ghost")
+        b.lot("K", char(3))
+        b.attribute("Ghost", "K")
+        with pytest.raises(NotReferableError):
+            naive_map(b.build())

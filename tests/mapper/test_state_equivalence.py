@@ -1,0 +1,222 @@
+"""Empirical losslessness: g : STATES(S1) -> STATES(S2) is a bijection.
+
+Definition 2 of the paper.  For canonical populations (instances
+named by their reference values) the composite mapping must satisfy:
+
+* forward(pop) is a valid database state (the lossless rules hold);
+* backward(forward(pop)) == pop (injectivity, observed);
+* forward(backward(db)) == db for valid db (surjectivity, observed).
+
+Hypothesis drives the schema shapes, policies and population seeds.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.brm import SchemaBuilder, char, numeric
+from repro.cris import figure6_population, figure6_schema
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.workloads import SchemaShape, generate_population, generate_schema
+
+POLICIES = st.tuples(
+    st.sampled_from(
+        [NullPolicy.DEFAULT, NullPolicy.NOT_ALLOWED, NullPolicy.NOT_IN_KEYS]
+    ),
+    st.sampled_from(
+        [SublinkPolicy.SEPARATE, SublinkPolicy.TOGETHER, SublinkPolicy.INDICATOR]
+    ),
+)
+
+
+def round_trip(schema, population, options):
+    result = map_schema(schema, options)
+    canonical = result.canonicalize(result.state.to_canonical(population))
+    database = result.state_map.forward(canonical)
+    violations = database.check()
+    assert not violations, [str(v) for v in violations][:5]
+    assert result.state_map.backward(database) == canonical
+    # Surjectivity: forward of the reconstruction is the same database.
+    assert result.state_map.forward(
+        result.state_map.backward(database)
+    ) == database
+    return result
+
+
+class TestFigure6Properties:
+    @settings(max_examples=30, deadline=None)
+    @given(policies=POLICIES)
+    def test_every_policy_combination_is_lossless(self, policies):
+        null_policy, sublink_policy = policies
+        schema = figure6_schema()
+        round_trip(
+            schema,
+            figure6_population(schema),
+            MappingOptions(
+                null_policy=null_policy, sublink_policy=sublink_policy
+            ),
+        )
+
+
+class TestGeneratedSchemaProperties:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=50),
+        population_seed=st.integers(min_value=0, max_value=50),
+        policies=POLICIES,
+    )
+    def test_random_schemas_are_lossless(
+        self, schema_seed, population_seed, policies
+    ):
+        null_policy, sublink_policy = policies
+        schema = generate_schema(
+            SchemaShape(
+                entity_types=8,
+                exclusion_groups=1,
+                subtype_own_identifier_ratio=0.5,
+            ),
+            seed=schema_seed,
+        )
+        population = generate_population(
+            schema, instances_per_type=4, seed=population_seed
+        )
+        assert population.is_valid()
+        round_trip(
+            schema,
+            population,
+            MappingOptions(
+                null_policy=null_policy, sublink_policy=sublink_policy
+            ),
+        )
+
+
+class TestTranslationProperties:
+    """Data translation between designs (§4.1) on random schemas."""
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        policies=st.tuples(POLICIES, POLICIES),
+    )
+    def test_translation_agrees_with_direct_mapping(self, seed, policies):
+        from repro.mapper import translate_state
+
+        (null_a, sub_a), (null_b, sub_b) = policies
+        schema = generate_schema(
+            SchemaShape(entity_types=6, subtype_own_identifier_ratio=0.5),
+            seed=seed,
+        )
+        population = generate_population(schema, seed=seed)
+        source = map_schema(
+            schema, MappingOptions(null_policy=null_a, sublink_policy=sub_a)
+        )
+        target = map_schema(
+            schema, MappingOptions(null_policy=null_b, sublink_policy=sub_b)
+        )
+        database = source.forward(population)
+        translated = translate_state(source, database, target)
+        assert translated == target.forward(population)
+
+
+class TestViolationVisibility:
+    """Invalid database states are rejected by the lossless rules —
+    the constraints are not decorative."""
+
+    def test_equality_view_catches_missing_sub_row(self):
+        schema = figure6_schema()
+        result = map_schema(schema)
+        population = figure6_population(schema)
+        database = result.forward(population)
+        # Remove a Program_Paper row without clearing the sublink
+        # attribute in Paper: C_EQ$ must fire.
+        from repro.relational import Compare
+
+        database.delete(
+            "Program_Paper", Compare("Paper_ProgramId", "=", "A1")
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_EQ$") for name in names)
+
+    def test_equal_existence_catches_partial_subtype_row(self):
+        schema = figure6_schema()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        database = result.forward(figure6_population(schema))
+        database.insert(
+            "Paper",
+            {
+                "Paper_Id": "P9",
+                "Title_of": "Broken",
+                "Is_Invited_Paper": "N",
+                "Paper_ProgramId_with": "A9",  # program id without session
+            },
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_EE$") for name in names)
+
+    def test_dependent_existence_catches_presenter_without_program(self):
+        schema = figure6_schema()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        database = result.forward(figure6_population(schema))
+        database.insert(
+            "Paper",
+            {
+                "Paper_Id": "P9",
+                "Title_of": "Broken",
+                "Is_Invited_Paper": "N",
+                "Person_presenting": "Eve",  # presenter but no program id
+            },
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_DE$") for name in names)
+
+    def test_value_restriction_catches_bad_indicator(self):
+        schema = figure6_schema()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)
+        )
+        database = result.forward(figure6_population(schema))
+        database.insert(
+            "Paper",
+            {"Paper_Id": "P9", "Title_of": "Broken", "Is_Invited_Paper": "?"},
+        )
+        names = {v.constraint_name for v in database.check()}
+        assert any(name.startswith("C_VAL$") for name in names)
+
+
+class TestCanonicalization:
+    def test_canonicalize_uses_root_reference(self):
+        schema = figure6_schema()
+        result = map_schema(schema)
+        population = figure6_population(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        # Abstract 'p1' is renamed to its Paper_Id value 'P1',
+        # including in its subtype memberships.
+        assert "P1" in canonical.instances("Paper")
+        assert "P1" in canonical.instances("Program_Paper")
+        assert "p1" not in canonical.instances("Paper")
+
+    def test_canonicalize_rejects_incomplete_reference(self):
+        from repro.brm import Population
+        from repro.errors import MappingError
+
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        schema = b.build()
+        result = map_schema(schema)
+        population = Population(schema)
+        population.add_instance("Paper", "ghost")  # no id fact
+        with pytest.raises(MappingError):
+            result.canonicalize(population)

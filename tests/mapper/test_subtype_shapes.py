@@ -1,0 +1,180 @@
+"""Tests for harder subtype shapes: chains, shared-root diamonds,
+unrelated diamonds, mixed policies along a chain."""
+
+import pytest
+
+from repro.brm import Population, SchemaBuilder, char, numeric
+from repro.errors import MappingError
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+
+
+def chain_schema():
+    """A < B < C, each level with one mandatory fact."""
+    b = SchemaBuilder("chain")
+    b.nolot("C").nolot("B").nolot("A")
+    b.lot("CK", char(4))
+    b.lot_nolot("V1", char(3)).lot_nolot("V2", char(3)).lot_nolot("V3", char(3))
+    b.identifier("C", "CK")
+    b.subtype("B", "C").subtype("A", "B")
+    b.attribute("C", "V1", fact="cf", total=True)
+    b.attribute("B", "V2", fact="bf", total=True)
+    b.attribute("A", "V3", fact="af", total=True)
+    return b.build()
+
+
+def chain_population(schema):
+    population = Population(schema)
+    population.add_fact("C_has_CK", "x1", "K1")
+    population.add_fact("cf", "x1", "v")
+    population.add_instance("B", "x1")
+    population.add_fact("bf", "x1", "v")
+    population.add_instance("A", "x1")
+    population.add_fact("af", "x1", "v")
+    population.add_fact("C_has_CK", "x2", "K2")
+    population.add_fact("cf", "x2", "v")
+    return population
+
+
+class TestChains:
+    def test_separate_chain(self):
+        schema = chain_schema()
+        result = map_schema(schema)
+        names = {r.name for r in result.relational.relations}
+        assert names == {"A", "B", "C"}
+        # Each level keyed by the inherited reference, FK to its parent.
+        edges = {
+            (fk.relation, fk.referenced_relation)
+            for fk in result.relational.foreign_keys()
+        }
+        assert ("B", "C") in edges
+        assert ("A", "B") in edges
+
+    def test_together_chain_collapses_fully(self):
+        schema = chain_schema()
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        assert [r.name for r in result.relational.relations] == ["C"]
+        c = result.relational.relation("C")
+        assert c.attribute("V2_of").nullable
+        assert c.attribute("V3_of").nullable
+
+    def test_mixed_policy_chain(self):
+        schema = chain_schema()
+        result = map_schema(
+            schema,
+            MappingOptions(
+                sublink_overrides=(("A_IS_B", SublinkPolicy.TOGETHER),)
+            ),
+        )
+        names = {r.name for r in result.relational.relations}
+        # A absorbed into B; B still separate from C.
+        assert names == {"B", "C"}
+        assert "V3_of" in result.relational.relation("B").attribute_names
+
+    @pytest.mark.parametrize(
+        "policy",
+        [SublinkPolicy.SEPARATE, SublinkPolicy.TOGETHER, SublinkPolicy.INDICATOR],
+        ids=lambda p: p.name,
+    )
+    def test_chain_round_trip(self, policy):
+        schema = chain_schema()
+        population = chain_population(schema)
+        assert population.is_valid()
+        result = map_schema(schema, MappingOptions(sublink_policy=policy))
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()][:3]
+        assert result.state_map.backward(database) == canonical
+
+
+class TestDiamonds:
+    def test_unrelated_roots_rejected(self):
+        b = SchemaBuilder("diamond")
+        b.nolot("A").nolot("B").nolot("X")
+        b.lot("AK", char(4)).lot("BK", numeric(5))
+        b.identifier("A", "AK")
+        b.identifier("B", "BK")
+        b.subtype("X", "A", name="X_IS_A").subtype("X", "B", name="X_IS_B")
+        with pytest.raises(MappingError) as excinfo:
+            map_schema(b.build())
+        assert "unrelated root supertypes" in str(excinfo.value)
+
+    def test_shared_root_diamond_accepted(self):
+        b = SchemaBuilder("vee")
+        b.nolot("A").nolot("C").nolot("X")
+        b.lot("AK", char(4))
+        b.identifier("A", "AK")
+        b.subtype("C", "A")
+        b.subtype("X", "C", name="X_IS_C").subtype("X", "A", name="X_IS_A")
+        result = map_schema(b.build())
+        assert {r.name for r in result.relational.relations} == {"A", "C", "X"}
+
+    def test_shared_root_diamond_round_trip(self):
+        b = SchemaBuilder("vee")
+        b.nolot("A").nolot("C").nolot("X")
+        b.lot("AK", char(4)).lot_nolot("V", char(3))
+        b.identifier("A", "AK")
+        b.subtype("C", "A")
+        b.subtype("X", "C", name="X_IS_C").subtype("X", "A", name="X_IS_A")
+        b.attribute("X", "V", fact="xf", total=True)
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("A_has_AK", "a1", "K1")
+        population.add_instance("C", "a1")
+        population.add_instance("X", "a1")
+        population.add_fact("xf", "a1", "v")
+        population.add_fact("A_has_AK", "a2", "K2")
+        assert population.is_valid()
+        result = map_schema(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid()
+        assert result.state_map.backward(database) == canonical
+
+
+class TestSubtypeWithOwnIdentifierUnderChain:
+    def test_mid_chain_own_identifier(self):
+        # B has its own id: B's relation keyed by it; A (below B)
+        # inherits B's scheme.
+        b = SchemaBuilder("s")
+        b.nolot("C").nolot("B").nolot("A")
+        b.lot("CK", char(4)).lot("BK", char(2))
+        b.lot_nolot("V", char(3))
+        b.identifier("C", "CK")
+        b.subtype("B", "C").subtype("A", "B")
+        b.identifier("B", "BK")
+        b.attribute("B", "V", fact="bf", total=True)
+        b.attribute("A", "V", fact="af", total=True)
+        schema = b.build()
+        result = map_schema(schema)
+        # B keyed by its own BK; the sublink stored as BK_Is in C.
+        assert result.relational.primary_key("B").columns == ("BK",)
+        assert "BK_Is" in result.relational.relation("C").attribute_names
+        # A inherits B's scheme (the cheaper CHAR(2)).
+        assert result.relational.primary_key("A").columns == ("BK",)
+
+    def test_mid_chain_own_identifier_round_trip(self):
+        b = SchemaBuilder("s")
+        b.nolot("C").nolot("B").nolot("A")
+        b.lot("CK", char(4)).lot("BK", char(2))
+        b.lot_nolot("V", char(3))
+        b.identifier("C", "CK")
+        b.subtype("B", "C").subtype("A", "B")
+        b.identifier("B", "BK")
+        b.attribute("B", "V", fact="bf", total=True)
+        b.attribute("A", "V", fact="af", total=True)
+        schema = b.build()
+        population = Population(schema)
+        population.add_fact("C_has_CK", "x", "K1")
+        population.add_instance("B", "x")
+        population.add_fact("B_has_BK", "x", "B1")
+        population.add_fact("bf", "x", "v")
+        population.add_instance("A", "x")
+        population.add_fact("af", "x", "v")
+        assert population.is_valid()
+        result = map_schema(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()][:3]
+        assert result.state_map.backward(database) == canonical

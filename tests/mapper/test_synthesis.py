@@ -1,0 +1,236 @@
+"""Tests for the plan synthesis: anchors, naming, m:n facts,
+satellites, fact ownership and the NULL ALLOWED disjunctive case."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char, numeric
+from repro.errors import AnalysisError, MappingError
+from repro.mapper import MappingOptions, NullPolicy, map_schema
+from repro.mapper.naive import naive_map
+
+
+class TestAnchorsAndNaming:
+    def test_lot_nolot_without_facts_gets_no_relation(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot_nolot("Person", char(30))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Person", fact="by")
+        result = map_schema(b.build())
+        assert {r.name for r in result.relational.relations} == {"Paper"}
+
+    def test_lot_nolot_with_facts_gets_anchor(self):
+        b = SchemaBuilder("s")
+        b.lot_nolot("Person", char(30)).lot("Age", numeric(3))
+        b.attribute("Person", "Age", fact="aged", total=True)
+        result = map_schema(b.build())
+        person = result.relational.relation("Person")
+        assert person.attribute_names == ("Person", "Age_of")
+        assert result.relational.primary_key("Person").columns == ("Person",)
+
+    def test_key_column_named_after_lot(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        result = map_schema(b.build())
+        assert result.relational.relation("Paper").attribute_names == ("Paper_Id",)
+
+    def test_fact_column_named_target_plus_far_role(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Title", char(50))
+        b.identifier("Paper", "Paper_Id")
+        b.attribute("Paper", "Title", owner_role="with", target_role="of",
+                    total=True)
+        result = map_schema(b.build())
+        assert "Title_of" in result.relational.relation("Paper").attribute_names
+
+    def test_alternate_identifier_becomes_candidate_key(self):
+        b = SchemaBuilder("s")
+        b.nolot("Person").lot("Ssn", numeric(9)).lot("Badge", char(8))
+        b.identifier("Person", "Ssn")
+        b.identifier("Person", "Badge")
+        result = map_schema(b.build())
+        person = result.relational.relation("Person")
+        assert result.relational.primary_key("Person").columns == ("Ssn",)
+        candidates = result.relational.candidate_keys("Person")
+        assert ("Badge_with",) in [c.columns for c in candidates]
+        # A non-chosen identifier is total, hence NOT NULL.
+        assert not person.attribute("Badge_with").nullable
+
+    def test_compound_reference_key(self):
+        b = SchemaBuilder("s")
+        b.nolot("Building").lot("Street", char(20)).lot("Nr", numeric(4))
+        b.attribute("Building", "Street", fact="on", total=True)
+        b.attribute("Building", "Nr", fact="at", total=True)
+        b.unique(("on", "of"), ("at", "of"))
+        result = map_schema(b.build())
+        building = result.relational.relation("Building")
+        assert result.relational.primary_key("Building").columns == (
+            "Street",
+            "Nr",
+        )
+        assert building.attribute_names == ("Street", "Nr")
+
+    def test_nested_reference_through_nolot(self):
+        b = SchemaBuilder("s")
+        b.nolot("Talk").nolot("Paper").lot("Paper_Id", char(6))
+        b.lot_nolot("Room", char(8))
+        b.identifier("Paper", "Paper_Id")
+        b.identifier("Talk", "Paper", fact="talk_on")
+        b.attribute("Talk", "Room", fact="held_in", total=True)
+        result = map_schema(b.build())
+        talk = result.relational.relation("Talk")
+        assert result.relational.primary_key("Talk").columns == ("Paper_Id",)
+        # The Talk key references the Paper relation.
+        fks = result.relational.foreign_keys("Talk")
+        assert any(fk.referenced_relation == "Paper" for fk in fks)
+        assert "Room_of" in talk.attribute_names
+
+
+class TestFactPlacement:
+    def test_one_to_one_fact_placed_once_on_total_side(self):
+        b = SchemaBuilder("s")
+        b.nolot("Person").nolot("Desk")
+        b.lot("P_Id", char(4)).lot("D_Id", char(4))
+        b.identifier("Person", "P_Id")
+        b.identifier("Desk", "D_Id")
+        b.fact("assigned", ("Person", "using"), ("Desk", "used_by"),
+               unique="both", total="second")
+        result = map_schema(b.build())
+        desk = result.relational.relation("Desk")
+        person = result.relational.relation("Person")
+        # Placed on Desk (the total side): NOT NULL column there only.
+        placed_on_desk = any("using" in n or "P_Id" in n
+                             for n in desk.attribute_names if n != "D_Id")
+        placed_on_person = any("used_by" in n or "D_Id" in n
+                               for n in person.attribute_names if n != "P_Id")
+        assert placed_on_desk and not placed_on_person
+
+    def test_many_to_many_gets_own_relation(self):
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot_nolot("Person", char(30))
+        b.identifier("Paper", "Paper_Id")
+        b.fact("authors", ("Paper", "written_by"), ("Person", "author_of"),
+               unique="pair")
+        result = map_schema(b.build())
+        authors = result.relational.relation("authors")
+        assert authors.attribute_names == (
+            "Paper_Id_written_by",
+            "Person_author_of",
+        )
+        assert result.relational.primary_key("authors").columns == (
+            "Paper_Id_written_by",
+            "Person_author_of",
+        )
+        fks = result.relational.foreign_keys("authors")
+        assert any(fk.referenced_relation == "Paper" for fk in fks)
+
+    def test_ring_fact_columns_distinct(self):
+        b = SchemaBuilder("s")
+        b.lot_nolot("Person", char(30))
+        b.fact("knows", ("Person", "knower"), ("Person", "known"),
+               unique="pair")
+        result = map_schema(b.build())
+        knows = result.relational.relation("knows")
+        assert knows.attribute_names == ("Person_knower", "Person_known")
+
+    def test_functional_ring_fact(self):
+        b = SchemaBuilder("s")
+        b.lot_nolot("Person", char(30)).lot("Age", numeric(3))
+        b.attribute("Person", "Age", fact="aged", total=True)
+        b.fact("boss", ("Person", "managed"), ("Person", "manages"),
+               unique="first")
+        result = map_schema(b.build())
+        person = result.relational.relation("Person")
+        assert "Person_manages" in person.attribute_names
+        assert person.attribute("Person_manages").nullable
+        fks = result.relational.foreign_keys("Person")
+        assert any(fk.referenced_relation == "Person" for fk in fks)
+
+    def test_fact_unique_on_lot_side_only(self):
+        # Each Title belongs to one Paper, but a Paper may have many
+        # titles: the fact cannot live in any anchor.
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6)).lot("Title", char(50))
+        b.identifier("Paper", "Paper_Id")
+        b.fact("titled", ("Paper", "named_by"), ("Title", "names"),
+               unique="second")
+        result = map_schema(b.build())
+        titled = result.relational.relation("titled")
+        assert result.relational.primary_key("titled").columns == (
+            "Title_names",
+        )
+
+
+class TestNullAllowedDisjunctive:
+    def schema(self):
+        # A Part is identified either by a DrawingNr or by a VendorCode
+        # — a non-homogeneous lexical representation (section 4.2.1).
+        b = SchemaBuilder("s")
+        b.nolot("Part").lot("DrawingNr", char(8)).lot("VendorCode", char(10))
+        b.fact("drawn", ("Part", "drawn_as"), ("DrawingNr", "drawing_of"),
+               unique="both")
+        b.fact("vended", ("Part", "vended_as"), ("VendorCode", "code_of"),
+               unique="both")
+        b.total_union("Part", ("drawn", "drawn_as"), ("vended", "vended_as"))
+        return b.build()
+
+    def test_blocked_without_null_allowed(self):
+        with pytest.raises(AnalysisError):
+            map_schema(self.schema())
+
+    def test_null_allowed_maps_with_nullable_key(self):
+        result = map_schema(
+            self.schema(), MappingOptions(null_policy=NullPolicy.ALLOWED)
+        )
+        part = result.relational.relation("Part")
+        assert set(part.attribute_names) == {
+            "DrawingNr_drawn_as",
+            "VendorCode_vended_as",
+        }
+        # Entity Integrity Rule deliberately waived: nullable PK.
+        pk = result.relational.primary_key("Part")
+        assert pk is not None
+        assert part.attribute(pk.columns[0]).nullable
+
+    def test_each_scheme_is_a_candidate_key(self):
+        result = map_schema(
+            self.schema(), MappingOptions(null_policy=NullPolicy.ALLOWED)
+        )
+        keys = result.relational.keys_of("Part")
+        assert ("DrawingNr_drawn_as",) in keys
+        assert ("VendorCode_vended_as",) in keys
+
+    def test_at_least_one_scheme_check(self):
+        result = map_schema(
+            self.schema(), MappingOptions(null_policy=NullPolicy.ALLOWED)
+        )
+        checks = result.relational.checks("Part")
+        assert any(
+            c.predicate.columns()
+            == {"DrawingNr_drawn_as", "VendorCode_vended_as"}
+            for c in checks
+        )
+
+    def test_round_trip_with_partial_identities(self):
+        from repro.brm import Population
+
+        schema = self.schema()
+        result = map_schema(
+            schema, MappingOptions(null_policy=NullPolicy.ALLOWED)
+        )
+        population = Population(schema)
+        population.add_fact("drawn", "a", "D1")
+        population.add_fact("vended", "a", "V1")
+        population.add_fact("drawn", "b", "D2")  # drawing only
+        population.add_fact("vended", "c", "V3")  # vendor code only
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()]
+        assert database.count("Part") == 3
+        assert result.state_map.backward(database) == canonical
+
+    def test_naive_algorithm_cannot_handle_it(self):
+        from repro.errors import NotReferableError
+
+        with pytest.raises(NotReferableError):
+            naive_map(self.schema())

@@ -1,0 +1,65 @@
+"""Tests for data translation between alternative designs (§4.1)."""
+
+import itertools
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import figure6_population, figure6_schema
+from repro.errors import MappingError
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.mapper.translate import translate_state
+
+ALTERNATIVES = {
+    "alt1": MappingOptions(),
+    "alt2": MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+    "alt3": MappingOptions(
+        sublink_overrides=(("Invited_Paper_IS_Paper", SublinkPolicy.INDICATOR),)
+    ),
+    "alt4": MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    schema = figure6_schema()
+    return schema, {
+        name: map_schema(schema, options)
+        for name, options in ALTERNATIVES.items()
+    }
+
+
+class TestTranslation:
+    @pytest.mark.parametrize(
+        "source_name,target_name",
+        list(itertools.permutations(ALTERNATIVES, 2)),
+        ids=lambda v: v,
+    )
+    def test_every_pair_translates(self, results, source_name, target_name):
+        schema, mapped = results
+        source = mapped[source_name]
+        target = mapped[target_name]
+        database = source.forward(figure6_population(schema))
+        translated = translate_state(source, database, target)
+        assert translated.is_valid()
+        # Direct mapping and translated mapping agree exactly.
+        direct = target.forward(figure6_population(schema))
+        assert translated == direct
+
+    def test_round_trip_translation_is_identity(self, results):
+        schema, mapped = results
+        alt1, alt4 = mapped["alt1"], mapped["alt4"]
+        database = alt1.forward(figure6_population(schema))
+        there = translate_state(alt1, database, alt4)
+        back = translate_state(alt4, there, alt1)
+        assert back == database
+
+    def test_different_schemas_rejected(self, results):
+        schema, mapped = results
+        b = SchemaBuilder("other")
+        b.nolot("X").lot("K", char(3))
+        b.identifier("X", "K")
+        other = map_schema(b.build())
+        database = mapped["alt1"].forward(figure6_population(schema))
+        with pytest.raises(MappingError):
+            translate_state(mapped["alt1"], database, other)

@@ -1,0 +1,201 @@
+"""Tests for conceptual transactions through the inverse mapping."""
+
+import pytest
+
+from repro.cris import figure6_population, figure6_schema
+from repro.errors import MappingError, PopulationError
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.relational import Compare
+from repro.ridl import (
+    AddToSubtype,
+    AssertFact,
+    ConceptualTransaction,
+    RemoveInstance,
+    RetractFact,
+    apply_transaction,
+)
+
+ALL_OPTIONS = [
+    MappingOptions(),
+    MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+    MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+]
+IDS = ["alt1", "alt2", "indicator"]
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return figure6_schema()
+
+
+def fresh_database(schema, options):
+    result = map_schema(schema, options)
+    return result, result.forward(figure6_population(schema))
+
+
+class TestAssertRetract:
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_assert_new_paper(self, schema, options):
+        result, database = fresh_database(schema, options)
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction(
+                (
+                    AssertFact("Paper_has_Paper_Id", "P9", "P9"),
+                    AssertFact("Paper_has_Title", "P9", "A New Paper"),
+                )
+            ),
+        )
+        assert updated.is_valid()
+        rows = updated.select("Paper", Compare("Paper_Id", "=", "P9"))
+        assert rows and rows[0]["Title_of"] == "A New Paper"
+        # The original state is untouched (atomicity).
+        assert not database.select("Paper", Compare("Paper_Id", "=", "P9"))
+
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_retract_optional_fact(self, schema, options):
+        result, database = fresh_database(schema, options)
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction(
+                (RetractFact("submission", "P1", "1988-10-01"),)
+            ),
+        )
+        assert updated.is_valid()
+        back = result.state_map.backward(updated)
+        assert back.fact_instances("submission") == {("P3", "1988-12-24")}
+
+    def test_invalid_transaction_rejected_atomically(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        with pytest.raises(PopulationError):
+            apply_transaction(
+                result,
+                database,
+                ConceptualTransaction(
+                    # A second title for P1 violates the uniqueness bar.
+                    (AssertFact("Paper_has_Title", "P1", "Another Title"),)
+                ),
+            )
+        assert database.is_valid()  # untouched
+
+    def test_retracting_missing_fact_fails(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        with pytest.raises(PopulationError):
+            apply_transaction(
+                result,
+                database,
+                ConceptualTransaction(
+                    (RetractFact("submission", "P2", "nope"),)
+                ),
+            )
+
+
+class TestSubtypeMembership:
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=IDS)
+    def test_paper_joins_programme(self, schema, options):
+        result, database = fresh_database(schema, options)
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction(
+                (
+                    AddToSubtype("Program_Paper", "P3"),
+                    AssertFact(
+                        "Program_Paper_has_Paper_ProgramId", "P3", "A3"
+                    ),
+                    AssertFact("scheduled", "P3", 103),
+                )
+            ),
+        )
+        assert updated.is_valid()
+        back = result.state_map.backward(updated)
+        assert "P3" in back.instances("Program_Paper")
+
+    def test_membership_without_mandatory_facts_rejected(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        with pytest.raises(PopulationError):
+            apply_transaction(
+                result,
+                database,
+                ConceptualTransaction(
+                    (AddToSubtype("Program_Paper", "P3"),)  # no id/session
+                ),
+            )
+
+    def test_together_still_accepts_membership_updates(self, schema):
+        # Even though TOGETHER eliminated the subtype relationally, the
+        # update is phrased on the original schema: the full inverse
+        # mapping makes it land as the indicator/anchor columns.
+        result = map_schema(
+            schema, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        database = result.forward(figure6_population(schema))
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction(
+                (
+                    AddToSubtype("Program_Paper", "P3"),
+                    AssertFact(
+                        "Program_Paper_has_Paper_ProgramId", "P3", "A3"
+                    ),
+                    AssertFact("scheduled", "P3", 103),
+                )
+            ),
+        )
+        assert updated.is_valid()
+        row = updated.select("Paper", Compare("Paper_Id", "=", "P3"))[0]
+        assert row["Paper_ProgramId_with"] == "A3"
+        assert row["Session_comprising"] == 103
+
+
+class TestRemoveInstance:
+    def test_remove_paper_everywhere(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction((RemoveInstance("Paper", "P3"),)),
+        )
+        assert updated.is_valid()
+        assert not updated.select("Paper", Compare("Paper_Id", "=", "P3"))
+
+    def test_remove_program_membership_only(self, schema):
+        # RemoveInstance on the subtype retracts the subtype's facts
+        # automatically but keeps the Paper-level facts intact.
+        result, database = fresh_database(schema, MappingOptions())
+        updated = apply_transaction(
+            result,
+            database,
+            ConceptualTransaction((RemoveInstance("Program_Paper", "P2"),)),
+        )
+        assert updated.is_valid()
+        # Still a Paper, no longer a Program_Paper.
+        assert updated.select("Paper", Compare("Paper_Id", "=", "P2"))
+        assert not updated.select(
+            "Program_Paper", Compare("Paper_ProgramId", "=", "A2")
+        )
+
+    def test_remove_unknown_instance_fails(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        with pytest.raises(PopulationError):
+            apply_transaction(
+                result,
+                database,
+                ConceptualTransaction((RemoveInstance("Paper", "P99"),)),
+            )
+
+
+class TestTransactionShape:
+    def test_empty_transaction_rejected(self):
+        with pytest.raises(MappingError):
+            ConceptualTransaction(())
+
+    def test_unknown_update_rejected(self, schema):
+        result, database = fresh_database(schema, MappingOptions())
+        with pytest.raises(MappingError):
+            apply_transaction(
+                result, database, ConceptualTransaction(("garbage",))
+            )

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.cris import figure6_schema
+from repro.dsl import to_dsl
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "figure6.ridl"
+    path.write_text(to_dsl(figure6_schema()))
+    return path
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestAnalyze:
+    def test_clean_schema_exits_zero(self, schema_file):
+        code, output = run(["analyze", str(schema_file)])
+        assert code == 0
+        assert "MAPPABLE" in output
+
+    def test_broken_schema_exits_one(self, tmp_path):
+        path = tmp_path / "bad.ridl"
+        path.write_text(
+            "schema Bad\nnolot Ghost\nlot K : char(3)\n"
+            "attribute Ghost has K\n"
+        )
+        code, output = run(["analyze", str(path)])
+        assert code == 1
+        assert "NOT_REFERABLE" in output
+
+    def test_missing_file_exits_two(self):
+        code, output = run(["analyze", "no_such_file.ridl"])
+        assert code == 2
+        assert "error:" in output
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        path = tmp_path / "syntax.ridl"
+        path.write_text("widget Nope\n")
+        code, output = run(["analyze", str(path)])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestMap:
+    def test_default_mapping_prints_sql2(self, schema_file):
+        code, output = run(["map", str(schema_file)])
+        assert code == 0
+        assert "CREATE TABLE Paper" in output
+        assert "CREATE DOMAIN" in output
+
+    def test_dialect_choice(self, schema_file):
+        code, output = run(
+            ["map", str(schema_file), "--dialect", "oracle"]
+        )
+        assert code == 0
+        assert "ORACLE" in output
+        assert "CREATE DOMAIN" not in output
+
+    def test_sublink_policy_flag(self, schema_file):
+        code, output = run(
+            ["map", str(schema_file), "--sublinks", "TOGETHER"]
+        )
+        assert code == 0
+        assert "CREATE TABLE Program_Paper" not in output
+        assert "Is_Invited_Paper" in output
+
+    def test_sublink_override_flag(self, schema_file):
+        code, output = run(
+            [
+                "map",
+                str(schema_file),
+                "--sublink-override",
+                "Invited_Paper_IS_Paper=INDICATOR",
+            ]
+        )
+        assert code == 0
+        assert "Is_Invited_Paper" in output
+        assert "CREATE TABLE Program_Paper" in output
+
+    def test_bad_override_rejected(self, schema_file):
+        code, output = run(
+            [
+                "map",
+                str(schema_file),
+                "--sublink-override",
+                "x=NOPE",
+            ]
+        )
+        assert code == 2
+
+    def test_omit_flag(self, schema_file):
+        code, output = run(
+            ["map", str(schema_file), "--omit", "Invited_Paper"]
+        )
+        assert code == 0
+        assert "CREATE TABLE Invited_Paper" not in output
+        assert "omitted by mapping option" in output
+
+
+class TestReport:
+    def test_writes_full_artifact_set(self, schema_file, tmp_path):
+        out_dir = tmp_path / "build"
+        code, output = run(
+            ["report", str(schema_file), "--out", str(out_dir)]
+        )
+        assert code == 0
+        names = {p.name for p in out_dir.iterdir()}
+        assert "schema.sql2.sql" in names
+        assert "schema.oracle.sql" in names
+        assert "schema.sybase.sql" in names
+        assert "map_report.txt" in names
+        assert "trace.txt" in names
+        assert "FORWARDS MAP" in (out_dir / "map_report.txt").read_text()
+        # The printed list mentions each written file.
+        assert output.count("schema.") == len(
+            [n for n in names if n.startswith("schema.")]
+        )
+
+
+class TestShow:
+    def test_ascii(self, schema_file):
+        code, output = run(["show", str(schema_file)])
+        assert code == 0
+        assert "BINARY SCHEMA figure6" in output
+
+    def test_dot(self, schema_file):
+        code, output = run(["show", str(schema_file), "--format", "dot"])
+        assert code == 0
+        assert output.startswith('digraph "figure6"')

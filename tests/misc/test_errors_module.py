@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_ridl_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) and issubclass(
+                attribute, Exception
+            ):
+                assert issubclass(attribute, errors.RidlError), name
+
+    def test_schema_errors_under_schema_error(self):
+        assert issubclass(errors.DuplicateNameError, errors.SchemaError)
+        assert issubclass(errors.UnknownElementError, errors.SchemaError)
+        assert issubclass(errors.ConstraintError, errors.SchemaError)
+
+    def test_mapping_errors(self):
+        assert issubclass(errors.NotReferableError, errors.MappingError)
+        assert issubclass(errors.TransformationError, errors.MappingError)
+
+    def test_engine_errors(self):
+        assert issubclass(errors.IntegrityViolation, errors.EngineError)
+
+
+class TestMessages:
+    def test_duplicate_name_carries_context(self):
+        exc = errors.DuplicateNameError("object type", "Paper")
+        assert exc.kind == "object type"
+        assert exc.name == "Paper"
+        assert "Paper" in str(exc)
+
+    def test_unknown_element_carries_context(self):
+        exc = errors.UnknownElementError("fact type", "nope")
+        assert "fact type" in str(exc)
+
+    def test_not_referable_names_the_type(self):
+        exc = errors.NotReferableError("Ghost")
+        assert exc.nolot_name == "Ghost"
+        assert "analyzer" in str(exc)
+
+    def test_integrity_violation_carries_constraint(self):
+        exc = errors.IntegrityViolation("C_EQ$_3", "views differ")
+        assert exc.constraint_name == "C_EQ$_3"
+        assert str(exc).startswith("constraint C_EQ$_3")
+
+    def test_dsl_syntax_error_carries_position(self):
+        exc = errors.DslSyntaxError("bad token", 3, 7)
+        assert (exc.line, exc.column) == (3, 7)
+        assert "line 3" in str(exc)
+
+
+class TestCatchability:
+    def test_one_except_clause_covers_the_library(self):
+        from repro.brm import SchemaBuilder
+
+        with pytest.raises(errors.RidlError):
+            SchemaBuilder().unique(42)

@@ -1,0 +1,160 @@
+"""Tests for the meta-database and the notation renderers."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import cris_schema, figure6_schema
+from repro.errors import MetaDatabaseError
+from repro.metadb import (
+    MetaDatabase,
+    constraints_view,
+    export_metadb,
+    object_types_view,
+    roles_view,
+    sublinks_view,
+)
+from repro.notation import render_ascii, render_dot
+
+
+class TestMetaDatabase:
+    def test_check_in_out_round_trip(self):
+        store = MetaDatabase()
+        schema = figure6_schema()
+        version = store.check_in(schema, comment="initial")
+        assert version.version == 1
+        assert store.check_out("figure6") == schema
+
+    def test_versioning(self):
+        store = MetaDatabase()
+        schema = figure6_schema()
+        store.check_in(schema)
+        evolved = schema.copy()
+        evolved.add_object_type(
+            __import__("repro.brm", fromlist=["nolot"]).nolot("Review")
+        )
+        store.check_in(evolved, comment="added Review")
+        assert [v.version for v in store.history("figure6")] == [1, 2]
+        assert store.check_out("figure6", 1) == schema
+        assert store.check_out("figure6") == evolved
+
+    def test_multiple_independent_schemas(self):
+        store = MetaDatabase()
+        store.check_in(figure6_schema())
+        store.check_in(cris_schema())
+        assert store.schema_names() == ["CRIS", "figure6"]
+
+    def test_unknown_schema_and_version(self):
+        store = MetaDatabase()
+        with pytest.raises(MetaDatabaseError):
+            store.check_out("nope")
+        store.check_in(figure6_schema())
+        with pytest.raises(MetaDatabaseError):
+            store.check_out("figure6", 7)
+
+    def test_drop(self):
+        store = MetaDatabase()
+        store.check_in(figure6_schema())
+        store.drop("figure6")
+        assert store.schema_names() == []
+        with pytest.raises(MetaDatabaseError):
+            store.drop("figure6")
+
+    def test_diff_between_versions(self):
+        store = MetaDatabase()
+        schema = figure6_schema()
+        store.check_in(schema)
+        evolved = schema.copy()
+        evolved.remove_constraint("T2")
+        store.check_in(evolved)
+        diff = store.diff("figure6", 1, 2)
+        assert "-constraint T2" in diff
+
+
+class TestDataDictionaryViews:
+    def test_object_types_view(self):
+        rows = object_types_view(figure6_schema())
+        by_name = {row["object_type"]: row for row in rows}
+        assert by_name["Paper"]["kind"] == "NOLOT"
+        assert by_name["Person"]["kind"] == "LOT-NOLOT"
+        assert by_name["Paper_Id"]["datatype"] == "CHAR(6)"
+        assert "Program_Paper" in by_name["Paper"]["subtypes"]
+
+    def test_roles_view(self):
+        rows = roles_view(figure6_schema())
+        scheduled = [
+            r
+            for r in rows
+            if r["fact_type"] == "scheduled" and r["role"] == "presented_during"
+        ][0]
+        assert scheduled["unique"] is True
+        assert scheduled["total"] is True
+        assert scheduled["co_player"] == "Session"
+
+    def test_constraints_view(self):
+        rows = constraints_view(figure6_schema())
+        kinds = {row["kind"] for row in rows}
+        assert "uniqueness" in kinds
+        assert "totalunion" in kinds
+
+    def test_sublinks_view(self):
+        rows = sublinks_view(figure6_schema())
+        assert {
+            (row["subtype"], row["supertype"]) for row in rows
+        } == {("Invited_Paper", "Paper"), ("Program_Paper", "Paper")}
+
+
+class TestSelfExport:
+    def test_export_is_valid_database(self):
+        store = MetaDatabase()
+        store.check_in(figure6_schema())
+        store.check_in(cris_schema())
+        database = export_metadb(store)
+        assert database.is_valid(), [str(v) for v in database.check()][:3]
+        assert database.count("META_SCHEMA") == 2
+        assert database.count("META_OBJECT_TYPE") > 10
+
+    def test_export_is_queryable(self):
+        from repro.relational import Compare
+
+        store = MetaDatabase()
+        store.check_in(figure6_schema())
+        database = export_metadb(store)
+        unique_roles = database.select(
+            "META_ROLE", Compare("is_unique", "=", "Y")
+        )
+        assert unique_roles
+        assert all(row["is_unique"] == "Y" for row in unique_roles)
+
+
+class TestNotation:
+    def test_dot_renders_all_elements(self):
+        dot = render_dot(figure6_schema())
+        assert dot.startswith('digraph "figure6"')
+        assert '"Paper"' in dot
+        assert '"fact:scheduled"' in dot
+        assert "style=bold" in dot  # sublink edges
+        assert dot.count("shape=record") == len(figure6_schema().fact_types)
+
+    def test_dot_marks_constraints(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        dot = render_dot(b.build())
+        assert 'label="X"' in dot  # the exclusion glyph
+
+    def test_ascii_shows_uniqueness_and_totality(self):
+        text = render_ascii(figure6_schema())
+        assert "BINARY SCHEMA figure6" in text
+        assert "-u-" in text  # identifier bar
+        assert " V" in text  # total role sign
+        assert "is a subtype of Paper" in text
+
+    def test_ascii_lists_set_algebraic_constraints(self):
+        b = SchemaBuilder("s")
+        b.nolot("A").nolot("B").nolot("C")
+        b.subtype("B", "A").subtype("C", "A")
+        b.exclusion("sublink:B_IS_A", "sublink:C_IS_A")
+        text = render_ascii(b.build())
+        assert "SET-ALGEBRAIC CONSTRAINTS" in text
+        assert "exclusion over" in text

@@ -1,0 +1,155 @@
+"""Tests for RIDL-F schema induction from example data."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.brm import DataTypeKind
+from repro.mapper import map_schema
+from repro.ridlf import (
+    ExampleTable,
+    InductionError,
+    induce_schema,
+    infer_datatype,
+)
+
+PAPERS = ExampleTable(
+    "Paper",
+    (
+        {"Paper_Id": "P1", "Title": "On Databases", "Status": "A", "Pages": 12},
+        {"Paper_Id": "P2", "Title": "NIAM Revisited", "Status": "R", "Pages": 8},
+        {"Paper_Id": "P3", "Title": "A Late One", "Status": "A", "Pages": None},
+    ),
+)
+
+
+class TestExampleTable:
+    def test_requires_rows(self):
+        with pytest.raises(InductionError):
+            ExampleTable("Empty", ())
+
+    def test_columns_in_first_appearance_order(self):
+        table = ExampleTable(
+            "T", ({"a": 1}, {"b": 2, "a": 3}, {"c": 4})
+        )
+        assert table.columns == ["a", "b", "c"]
+
+    def test_values_skip_nulls(self):
+        assert PAPERS.values("Pages") == [12, 8]
+
+
+class TestDatatypeInference:
+    def test_integers(self):
+        datatype = infer_datatype([12, 8, 123])
+        assert datatype.kind is DataTypeKind.NUMERIC
+        assert datatype.length >= 3
+
+    def test_floats(self):
+        datatype = infer_datatype([1.5, 2])
+        assert datatype.kind is DataTypeKind.NUMERIC
+        assert datatype.scale == 2
+
+    def test_strings_sized_with_headroom(self):
+        datatype = infer_datatype(["abcd", "ab"])
+        assert datatype.kind is DataTypeKind.CHAR
+        assert datatype.length >= 4
+
+    def test_booleans(self):
+        assert infer_datatype([True, False]).length == 1
+
+
+class TestKeyDetection:
+    def test_declared_key_used(self):
+        table = ExampleTable(
+            "T", ({"k": "a", "v": 1}, {"k": "b", "v": 1}), key="k"
+        )
+        result = induce_schema([table])
+        assert result.schema.has_fact_type("T_has_k")
+
+    def test_declared_key_must_exist(self):
+        table = ExampleTable("T", ({"a": 1},), key="nope")
+        with pytest.raises(InductionError):
+            induce_schema([table])
+
+    def test_detected_key_is_unique_never_null(self):
+        result = induce_schema([PAPERS])
+        assert result.schema.has_fact_type("Paper_has_Paper_Id")
+        chosen = [e for e in result.evidence
+                  if e.verdict == "chosen as naming convention"]
+        assert chosen[0].subject == "Paper.Paper_Id"
+
+    def test_no_key_candidate_fails(self):
+        table = ExampleTable(
+            "T", ({"v": 1}, {"v": 1})  # duplicated, no other column
+        )
+        with pytest.raises(InductionError):
+            induce_schema([table])
+
+
+class TestConstraintInduction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return induce_schema([PAPERS], name="Elicited")
+
+    def test_totality_from_full_columns(self, result):
+        from repro.brm import RoleId
+
+        schema = result.schema
+        assert schema.is_total(RoleId("Paper_Title_fact", "with"))
+        assert not schema.is_total(RoleId("Paper_Pages_fact", "with"))
+
+    def test_alternate_identifier_flagged(self, result):
+        from repro.brm import RoleId
+
+        assert result.schema.is_unique(RoleId("Paper_Title_fact", "of"))
+        assert any(
+            "candidate alternate identifier" in e.verdict
+            for e in result.evidence
+        )
+
+    def test_enum_detected(self, result):
+        constraint = result.schema.value_constraint_on("Status")
+        assert constraint is not None
+        assert set(constraint.values) == {"A", "R"}
+
+    def test_no_enum_for_unique_values(self, result):
+        assert result.schema.value_constraint_on("Title") is None
+
+    def test_all_null_column_skipped(self):
+        table = ExampleTable(
+            "T", ({"k": "a", "ghost": None}, {"k": "b", "ghost": None})
+        )
+        result = induce_schema([table])
+        assert not result.schema.has_object_type("ghost")
+        assert any(e.verdict == "skipped" for e in result.evidence)
+
+    def test_render_lists_evidence(self, result):
+        rendered = result.render()
+        assert "RIDL-F proposal" in rendered
+        assert "Paper.Status" in rendered
+
+
+class TestEndToEnd:
+    def test_induced_schema_is_analyzable_and_mappable(self):
+        sessions = ExampleTable(
+            "Session",
+            (
+                {"Nr": 101, "Room": "Aula", "Track": "research"},
+                {"Nr": 102, "Room": "R2", "Track": "industry"},
+                {"Nr": 103, "Room": "Aula", "Track": "research"},
+            ),
+        )
+        result = induce_schema([PAPERS, sessions], name="conf")
+        report = analyze(result.schema)
+        assert report.is_mappable
+        mapped = map_schema(result.schema)
+        names = {r.name for r in mapped.relational.relations}
+        assert names == {"Paper", "Session"}
+
+    def test_colliding_column_names_across_tables(self):
+        first = ExampleTable("A", ({"Id": 1, "Name": "x"},))
+        second = ExampleTable("B", ({"Id": 9, "Name": "y"},))
+        result = induce_schema([first, second])
+        # LOT names are disambiguated per entity.
+        assert result.schema.has_object_type("Id")
+        assert result.schema.has_object_type("B_Id")
+        assert result.schema.has_object_type("B_Name")

@@ -1,0 +1,105 @@
+"""Small coverage gaps: report truncation, version metadata, engine
+odds and ends, plan accessors."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import figure6_schema
+from repro.errors import AnalysisError
+from repro.mapper import map_schema
+from repro.metadb import MetaDatabase
+
+
+class TestAnalyzerReportTruncation:
+    def test_many_errors_truncated_in_message(self):
+        from repro.analyzer import require_mappable
+
+        b = SchemaBuilder("many")
+        for index in range(8):
+            b.lot(f"A{index}", char(3))
+            b.lot(f"B{index}", char(3))
+            b.fact(f"ll{index}", (f"A{index}", "x"), (f"B{index}", "y"))
+        with pytest.raises(AnalysisError) as excinfo:
+            require_mappable(b.build())
+        assert "more)" in str(excinfo.value)
+
+
+class TestMetaDatabaseMetadata:
+    def test_version_comment_kept(self):
+        store = MetaDatabase()
+        version = store.check_in(figure6_schema(), comment="first cut")
+        assert store.version("figure6").comment == "first cut"
+        assert version.source.startswith("schema figure6")
+
+    def test_version_schema_materialization_is_fresh(self):
+        store = MetaDatabase()
+        store.check_in(figure6_schema())
+        first = store.check_out("figure6")
+        second = store.check_out("figure6")
+        assert first == second
+        assert first is not second
+
+
+class TestPlanAccessors:
+    def test_plan_column_lookup(self):
+        result = map_schema(figure6_schema())
+        plan = result.plan.plan_for("Program_Paper")
+        unit = plan.column("Session_comprising")
+        assert unit.domain_name == "D_Session"
+        with pytest.raises(KeyError):
+            plan.column("nope")
+
+    def test_columns_for_fact(self):
+        result = map_schema(figure6_schema())
+        plan = result.plan.plan_for("Program_Paper")
+        units = plan.columns_for_fact("presents")
+        assert [u.name for u in units] == ["Person_presenting"]
+
+
+class TestEngineOdds:
+    def test_insert_many_and_count(self):
+        from repro.engine import Database
+        from repro.relational import (
+            Attribute,
+            Domain,
+            Relation,
+            RelationalSchema,
+        )
+        from repro.brm import numeric
+
+        schema = RelationalSchema("s")
+        schema.add_domain(Domain("D", numeric(4)))
+        schema.add_relation(Relation("R", (Attribute("n", "D"),)))
+        database = Database(schema)
+        database.insert_many("R", [{"n": i} for i in range(5)])
+        assert database.count("R") == 5
+
+    def test_validate_truncates_many_violations(self):
+        from repro.engine import Database
+        from repro.errors import IntegrityViolation
+        from repro.relational import (
+            Attribute,
+            Domain,
+            Relation,
+            RelationalSchema,
+        )
+        from repro.brm import numeric
+
+        schema = RelationalSchema("s")
+        schema.add_domain(Domain("D", numeric(4)))
+        schema.add_relation(Relation("R", (Attribute("n", "D"),)))
+        database = Database(schema)
+        database.insert_many("R", [{} for _ in range(9)])  # NULL not-null
+        with pytest.raises(IntegrityViolation) as excinfo:
+            database.validate()
+        assert "+4 more" in str(excinfo.value)
+
+
+class TestDialectHeader:
+    def test_profile_header_is_emitted(self):
+        from repro.sql import DdlEmitter, DialectProfile
+
+        profile = DialectProfile(name="Custom", header="-- custom banner")
+        result = map_schema(figure6_schema())
+        ddl = DdlEmitter(profile).emit(result.relational)
+        assert "-- custom banner" in ddl

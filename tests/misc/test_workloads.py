@@ -1,0 +1,87 @@
+"""Tests for the workload generators (schemas and populations)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analyzer import analyze
+from repro.workloads import SchemaShape, generate_population, generate_schema
+
+
+class TestSchemaGenerator:
+    def test_deterministic_per_seed(self):
+        first = generate_schema(SchemaShape(entity_types=10), seed=3)
+        second = generate_schema(SchemaShape(entity_types=10), seed=3)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_schema(SchemaShape(entity_types=10), seed=3)
+        second = generate_schema(SchemaShape(entity_types=10), seed=4)
+        assert first != second
+
+    def test_shape_controls_entity_count(self):
+        schema = generate_schema(SchemaShape(entity_types=17), seed=1)
+        assert schema.stats()["nolots"] == 17
+
+    def test_generated_schemas_analyze_clean(self):
+        for seed in range(5):
+            schema = generate_schema(SchemaShape(entity_types=12), seed=seed)
+            report = analyze(schema)
+            assert report.errors == [], [str(d) for d in report.errors][:3]
+
+    def test_rich_constraints_add_set_algebra(self):
+        plain = generate_schema(SchemaShape(entity_types=15), seed=9)
+        rich = generate_schema(
+            SchemaShape(entity_types=15, rich_constraints=True), seed=9
+        )
+        plain_algebra = len(plain.subsets()) + len(plain.equalities())
+        rich_algebra = len(rich.subsets()) + len(rich.equalities())
+        assert rich_algebra > plain_algebra
+
+    def test_exclusion_groups_bounded(self):
+        schema = generate_schema(
+            SchemaShape(entity_types=30, subtype_ratio=0.5,
+                        exclusion_groups=2),
+            seed=2,
+        )
+        assert len(schema.exclusions()) <= 2
+
+
+class TestPopulationGenerator:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=100),
+        population_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_generated_populations_are_always_valid(
+        self, schema_seed, population_seed
+    ):
+        schema = generate_schema(
+            SchemaShape(entity_types=7, exclusion_groups=1), seed=schema_seed
+        )
+        population = generate_population(
+            schema, instances_per_type=4, seed=population_seed
+        )
+        violations = population.check()
+        assert violations == [], [str(v) for v in violations][:3]
+
+    def test_optional_fill_controls_density(self):
+        schema = generate_schema(
+            SchemaShape(entity_types=10, optional_ratio=0.8), seed=5
+        )
+        sparse = generate_population(schema, optional_fill=0.0, seed=5)
+        dense = generate_population(schema, optional_fill=1.0, seed=5)
+        count = lambda pop: sum(  # noqa: E731
+            len(pop.fact_instances(f.name)) for f in schema.fact_types
+        )
+        assert count(dense) > count(sparse)
+
+    def test_deterministic_per_seed(self):
+        schema = generate_schema(SchemaShape(entity_types=8), seed=6)
+        assert generate_population(schema, seed=1) == generate_population(
+            schema, seed=1
+        )

@@ -1,0 +1,83 @@
+"""Property-based tests for the predicate algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import And, Compare, InValues, IsNull, Not, NotNull, Or
+
+COLUMNS = ("a", "b", "c")
+
+
+@st.composite
+def atoms(draw):
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(st.sampled_from(["isnull", "notnull", "compare", "in"]))
+    if kind == "isnull":
+        return IsNull(column)
+    if kind == "notnull":
+        return NotNull(column)
+    if kind == "compare":
+        op = draw(st.sampled_from(["=", "<>", "<", "<=", ">", ">="]))
+        return Compare(column, op, draw(st.integers(-3, 3)))
+    values = draw(
+        st.lists(st.integers(-3, 3), min_size=1, max_size=3, unique=True)
+    )
+    return InValues(column, tuple(values))
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0:
+        return draw(atoms())
+    kind = draw(st.sampled_from(["atom", "and", "or", "not"]))
+    if kind == "atom":
+        return draw(atoms())
+    if kind == "not":
+        return Not(draw(predicates(depth=depth - 1)))
+    operands = tuple(
+        draw(predicates(depth=depth - 1))
+        for _ in range(draw(st.integers(2, 3)))
+    )
+    return And(operands) if kind == "and" else Or(operands)
+
+
+@st.composite
+def rows(draw):
+    return {
+        column: draw(st.one_of(st.none(), st.integers(-3, 3)))
+        for column in COLUMNS
+    }
+
+
+class TestPredicateAlgebraProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(predicate=predicates(), row=rows())
+    def test_negation_is_complement(self, predicate, row):
+        assert Not(predicate).evaluate(row) == (not predicate.evaluate(row))
+
+    @settings(max_examples=200, deadline=None)
+    @given(left=predicates(), right=predicates(), row=rows())
+    def test_de_morgan(self, left, right, row):
+        conjunction = Not(And((left, right)))
+        disjunction = Or((Not(left), Not(right)))
+        assert conjunction.evaluate(row) == disjunction.evaluate(row)
+
+    @settings(max_examples=200, deadline=None)
+    @given(predicate=predicates(), row=rows())
+    def test_render_mentions_all_columns(self, predicate, row):
+        rendered = predicate.render()
+        for column in predicate.columns():
+            assert column in rendered
+
+    @settings(max_examples=100, deadline=None)
+    @given(row=rows())
+    def test_null_dichotomy(self, row):
+        for column in COLUMNS:
+            assert IsNull(column).evaluate(row) != NotNull(column).evaluate(row)
+
+    @settings(max_examples=200, deadline=None)
+    @given(predicate=predicates(), row=rows())
+    def test_evaluation_is_pure(self, predicate, row):
+        first = predicate.evaluate(dict(row))
+        second = predicate.evaluate(dict(row))
+        assert first == second

@@ -1,0 +1,264 @@
+"""Tests for the generic relational schema."""
+
+import pytest
+
+from repro.brm import char, numeric
+from repro.relational import (
+    Attribute,
+    CandidateKey,
+    CheckConstraint,
+    Domain,
+    EqualityViewConstraint,
+    ForeignKey,
+    NotNull,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+    SelectSpec,
+    SubsetViewConstraint,
+)
+from repro.errors import DuplicateNameError, SchemaError, UnknownElementError
+
+
+@pytest.fixture
+def schema():
+    s = RelationalSchema("conf")
+    s.add_domain(Domain("D_Paper_Id", char(6)))
+    s.add_domain(Domain("D_Title", char(50)))
+    s.add_relation(
+        Relation(
+            "Paper",
+            (
+                Attribute("Paper_Id", "D_Paper_Id"),
+                Attribute("Title_of", "D_Title"),
+                Attribute("Paper_ProgramId_Is", "D_Paper_Id", nullable=True),
+            ),
+        )
+    )
+    s.add_constraint(PrimaryKey("C_KEY$_1", relation="Paper", columns=("Paper_Id",)))
+    return s
+
+
+class TestDomains:
+    def test_readding_identical_domain_is_noop(self, schema):
+        schema.add_domain(Domain("D_Paper_Id", char(6)))
+        assert len(schema.domains) == 2
+
+    def test_conflicting_domain_rejected(self, schema):
+        with pytest.raises(DuplicateNameError):
+            schema.add_domain(Domain("D_Paper_Id", char(7)))
+
+    def test_attribute_requires_domain(self, schema):
+        with pytest.raises(UnknownElementError):
+            schema.add_relation(
+                Relation("Bad", (Attribute("x", "D_Missing"),))
+            )
+
+
+class TestRelations:
+    def test_duplicate_relation_rejected(self, schema):
+        with pytest.raises(DuplicateNameError):
+            schema.add_relation(Relation("Paper", ()))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(
+                "R",
+                (Attribute("a", "D"), Attribute("a", "D")),
+            )
+
+    def test_attribute_lookup(self, schema):
+        relation = schema.relation("Paper")
+        assert relation.attribute("Title_of").domain == "D_Title"
+        assert relation.attribute("Paper_ProgramId_Is").nullable
+        with pytest.raises(UnknownElementError):
+            relation.attribute("nope")
+
+    def test_with_attribute(self, schema):
+        relation = schema.relation("Paper")
+        extended = relation.with_attribute(Attribute("Extra", "D_Title"))
+        assert extended.has_attribute("Extra")
+        assert not relation.has_attribute("Extra")
+        with pytest.raises(DuplicateNameError):
+            extended.with_attribute(Attribute("Extra", "D_Title"))
+
+    def test_without_attribute(self, schema):
+        relation = schema.relation("Paper")
+        shrunk = relation.without_attribute("Title_of")
+        assert not shrunk.has_attribute("Title_of")
+        with pytest.raises(UnknownElementError):
+            relation.without_attribute("nope")
+
+    def test_replace_relation_validates_constraints(self, schema):
+        with pytest.raises(SchemaError):
+            schema.replace_relation(
+                Relation("Paper", (Attribute("Other", "D_Title"),))
+            )
+
+    def test_remove_relation_in_use(self, schema):
+        with pytest.raises(SchemaError):
+            schema.remove_relation("Paper")
+        schema.remove_constraint("C_KEY$_1")
+        schema.remove_relation("Paper")
+        assert not schema.has_relation("Paper")
+
+
+class TestKeys:
+    def test_single_primary_key(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_constraint(
+                PrimaryKey("C_KEY$_2", relation="Paper", columns=("Title_of",))
+            )
+
+    def test_candidate_keys(self, schema):
+        schema.add_constraint(
+            CandidateKey("C_KEY$_2", relation="Paper", columns=("Paper_ProgramId_Is",))
+        )
+        assert schema.keys_of("Paper") == [("Paper_Id",), ("Paper_ProgramId_Is",)]
+
+    def test_key_requires_columns(self):
+        with pytest.raises(SchemaError):
+            PrimaryKey("K", relation="R", columns=())
+
+    def test_key_rejects_duplicate_columns(self):
+        with pytest.raises(SchemaError):
+            PrimaryKey("K", relation="R", columns=("a", "a"))
+
+    def test_constraint_must_reference_existing_columns(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_constraint(
+                CandidateKey("C", relation="Paper", columns=("Nope",))
+            )
+
+
+class TestForeignKeys:
+    def test_compatible_domains_required(self, schema):
+        schema.add_relation(
+            Relation("Other", (Attribute("Ref", "D_Title"),))
+        )
+        with pytest.raises(SchemaError):
+            schema.add_constraint(
+                ForeignKey(
+                    "FK",
+                    relation="Other",
+                    columns=("Ref",),
+                    referenced_relation="Paper",
+                    referenced_columns=("Paper_Id",),
+                )
+            )
+
+    def test_valid_foreign_key(self, schema):
+        schema.add_relation(
+            Relation("Program_Paper", (Attribute("Paper_ProgramId", "D_Paper_Id"),))
+        )
+        fk = ForeignKey(
+            "C_FKEY$_8",
+            relation="Program_Paper",
+            columns=("Paper_ProgramId",),
+            referenced_relation="Paper",
+            referenced_columns=("Paper_ProgramId_Is",),
+        )
+        schema.add_constraint(fk)
+        assert schema.foreign_keys("Program_Paper") == [fk]
+
+    def test_mismatched_column_counts(self, schema):
+        schema.add_relation(
+            Relation("PP", (Attribute("A", "D_Paper_Id"), Attribute("B", "D_Paper_Id")))
+        )
+        with pytest.raises(SchemaError):
+            schema.add_constraint(
+                ForeignKey(
+                    "FK",
+                    relation="PP",
+                    columns=("A", "B"),
+                    referenced_relation="Paper",
+                    referenced_columns=("Paper_Id",),
+                )
+            )
+
+    def test_self_referencing_fk(self, schema):
+        schema.add_relation(
+            Relation(
+                "Emp",
+                (
+                    Attribute("Id", "D_Paper_Id"),
+                    Attribute("Boss", "D_Paper_Id", nullable=True),
+                ),
+            )
+        )
+        schema.add_constraint(PrimaryKey("PK_E", relation="Emp", columns=("Id",)))
+        schema.add_constraint(
+            ForeignKey(
+                "FK_E",
+                relation="Emp",
+                columns=("Boss",),
+                referenced_relation="Emp",
+                referenced_columns=("Id",),
+            )
+        )
+        assert "Emp" in schema.constraint("FK_E").relations_used()
+
+
+class TestViewConstraints:
+    def test_equality_view(self, schema):
+        schema.add_relation(
+            Relation("Program_Paper", (Attribute("Paper_ProgramId", "D_Paper_Id"),))
+        )
+        constraint = EqualityViewConstraint(
+            "C_EQ$_3",
+            left=SelectSpec("Program_Paper", ("Paper_ProgramId",)),
+            right=SelectSpec(
+                "Paper",
+                ("Paper_ProgramId_Is",),
+                where=NotNull("Paper_ProgramId_Is"),
+            ),
+        )
+        schema.add_constraint(constraint)
+        assert schema.view_constraints() == [constraint]
+
+    def test_view_requires_matching_widths(self):
+        with pytest.raises(SchemaError):
+            EqualityViewConstraint(
+                "bad",
+                left=SelectSpec("A", ("x",)),
+                right=SelectSpec("B", ("y", "z")),
+            )
+
+    def test_subset_view(self, schema):
+        constraint = SubsetViewConstraint(
+            "C_SUB$_1",
+            subset=SelectSpec("Paper", ("Paper_ProgramId_Is",),
+                              where=NotNull("Paper_ProgramId_Is")),
+            superset=SelectSpec("Paper", ("Paper_Id",)),
+        )
+        schema.add_constraint(constraint)
+        assert constraint in schema.view_constraints()
+
+    def test_check_constraint_registration(self, schema):
+        constraint = CheckConstraint(
+            "C_DE$_1", relation="Paper", predicate=NotNull("Title_of")
+        )
+        schema.add_constraint(constraint)
+        assert schema.checks("Paper") == [constraint]
+        assert schema.checks("Other") == []
+
+
+class TestWholeSchema:
+    def test_copy_is_independent(self, schema):
+        duplicate = schema.copy()
+        duplicate.add_domain(Domain("D_New", numeric(3)))
+        assert len(schema.domains) == 2
+        assert len(duplicate.domains) == 3
+
+    def test_fresh_constraint_name(self, schema):
+        assert schema.fresh_constraint_name("C_KEY$") == "C_KEY$_2"
+        assert schema.fresh_constraint_name("C_EQ$") == "C_EQ$_1"
+
+    def test_stats(self, schema):
+        stats = schema.stats()
+        assert stats["relations"] == 1
+        assert stats["attributes"] == 3
+        assert stats["constraints"] == 1
+
+    def test_constraints_on(self, schema):
+        assert [c.name for c in schema.constraints_on("Paper")] == ["C_KEY$_1"]
