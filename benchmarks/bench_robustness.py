@@ -1,0 +1,143 @@
+"""Fault tolerance: guard overhead and chaos recovery.
+
+Two properties of the robustness layer (``docs/ROBUSTNESS.md``) are
+quantified on the CRIS case:
+
+1. *Guard overhead.*  Every rule firing is snapshotted and
+   re-validated by the :class:`~repro.robustness.GuardedExecutor`.
+   The per-step cost (snapshot + structural check + RIDL-A
+   correctness + round-trip spot-check) must stay a small fraction of
+   the pipeline — the guard is always on, so it has to be cheap.
+2. *Recovery cost.*  A best-effort session that survives a raising
+   expert rule (rollback + quarantine + continue) must land on the
+   same result as the undisturbed session, at comparable cost.
+"""
+
+from timeit import repeat
+
+from conftest import emit
+from repro.analyzer import analyze
+from repro.mapper import (
+    MappingOptions,
+    MappingState,
+    Rule,
+    SublinkPolicy,
+    TransformationEngine,
+    map_schema,
+)
+from repro.metadb import MetaDatabase
+from repro.robustness import Fault, GuardedExecutor, RecoveryMode, inject
+
+OPTIONS = MappingOptions(sublink_policy=SublinkPolicy.INDICATOR)
+
+
+def _binary_phase(schema, executor=None):
+    state = MappingState(
+        schema=schema.copy(), options=OPTIONS, original=schema
+    )
+    TransformationEngine().run(state, executor=executor)
+    return state
+
+
+def _full_pipeline(schema):
+    """The ``bench_pipeline`` workload: check-in/out, analyze, map,
+    DDL, map report — the denominator the overhead bound is against."""
+    store = MetaDatabase()
+    store.check_in(schema)
+    checked_out = store.check_out(schema.name)
+    assert analyze(checked_out).is_mappable
+    result = map_schema(checked_out, OPTIONS)
+    result.sql("sql2")
+    result.map_report()
+    return result
+
+
+def test_guarded_session(benchmark, cris):
+    """The full pipeline with guards on (the production default)."""
+    result = benchmark(map_schema, cris, OPTIONS)
+    assert result.health.ok
+    assert result.health.guarded_steps >= 3
+    emit(
+        "Guarded CRIS session",
+        [
+            f"health: {result.health.summary()}",
+            f"guard time: "
+            f"{sum(result.health.guard_timings.values()) * 1000.0:.2f} ms",
+        ],
+    )
+
+
+def test_guard_overhead_on_binary_phase(cris):
+    """Per-step guards stay within 15% of the ungated pipeline.
+
+    The binary phase is where every guarded firing happens, so the
+    guarded-minus-ungated difference there bounds the whole-pipeline
+    overhead: the relational phases run unguarded either way.  The
+    bound is taken against the ``bench_pipeline`` workload (check-in,
+    analysis, mapping, DDL, map report), the path a session actually
+    walks.
+    """
+    runs = 20
+    ungated = min(
+        repeat(lambda: _binary_phase(cris), number=runs, repeat=3)
+    )
+    executor_time = min(
+        repeat(
+            lambda: _binary_phase(
+                cris, GuardedExecutor(RecoveryMode.STRICT)
+            ),
+            number=runs,
+            repeat=3,
+        )
+    )
+    pipeline = min(
+        repeat(lambda: _full_pipeline(cris), number=runs, repeat=3)
+    )
+    overhead = (executor_time - ungated) / pipeline
+    assert overhead < 0.15, (
+        f"guard overhead {overhead:.1%} of the pipeline "
+        f"(ungated binary {ungated / runs * 1000.0:.2f} ms, guarded "
+        f"{executor_time / runs * 1000.0:.2f} ms, pipeline "
+        f"{pipeline / runs * 1000.0:.2f} ms per run)"
+    )
+    emit(
+        "Guard overhead (CRIS, per run)",
+        [
+            f"binary phase ungated: {ungated / runs * 1000.0:.3f} ms",
+            f"binary phase guarded: {executor_time / runs * 1000.0:.3f} ms",
+            f"full pipeline: {pipeline / runs * 1000.0:.3f} ms",
+            f"guard overhead: {overhead:.1%} of the pipeline",
+        ],
+    )
+
+
+def test_chaos_recovery(benchmark, cris):
+    """Surviving a raising expert rule costs one rollback, not the
+    session: the degraded result equals the undisturbed one."""
+    bad = Rule(
+        "bad-expert",
+        lambda state: "fired:bad-expert" not in state.flags,
+        lambda state: None,
+    )
+    baseline = map_schema(cris, OPTIONS)
+
+    def chaos_session():
+        with inject(Fault("rule:bad-expert", kind="raise")):
+            return map_schema(
+                cris,
+                OPTIONS,
+                extra_rules=(bad,),
+                robustness="best-effort",
+            )
+
+    result = benchmark(chaos_session)
+    assert result.health.quarantined_rule_names() == ("bad-expert",)
+    assert result.sql("sql2") == baseline.sql("sql2")
+    assert result.map_report() == baseline.map_report()
+    emit(
+        "Chaos recovery (raising expert rule, best-effort)",
+        [
+            f"health: {result.health.summary()}",
+            "degraded result identical to the undisturbed session: yes",
+        ],
+    )

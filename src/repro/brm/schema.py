@@ -499,6 +499,20 @@ class BinarySchema:
         duplicate._constraints = dict(self._constraints)
         return duplicate
 
+    def same_elements(self, other: "BinarySchema") -> bool:
+        """True when both schemas hold equal element sets.
+
+        Fast when the elements are shared objects, as between a schema
+        and its :meth:`copy` — the step guards use this to skip
+        re-analysis after a transformation that left the schema alone.
+        """
+        return (
+            self._object_types == other._object_types
+            and self._fact_types == other._fact_types
+            and self._sublinks == other._sublinks
+            and self._constraints == other._constraints
+        )
+
     def fresh_name(self, stem: str, taken: Iterable[str] = ()) -> str:
         """A name starting with ``stem`` unused by any element category."""
         used = (

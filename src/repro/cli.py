@@ -6,12 +6,22 @@ loop of the paper's figure 1::
 
     python -m repro analyze conference.ridl
     python -m repro map conference.ridl --sublinks TOGETHER --dialect sql2
+    python -m repro map conference.ridl --strict        # abort on any failure
+    python -m repro map conference.ridl --best-effort   # survive, report health
     python -m repro report conference.ridl --out build/
     python -m repro show conference.ridl --format dot > schema.dot
 
 ``map`` prints DDL; ``report`` writes the full artifact set (DDL for
 every dialect, forwards/backwards map report, transformation trace)
 into a directory; ``show`` renders the conceptual schema.
+
+``--strict`` (default) aborts the mapping session on the first failed
+step; ``--best-effort`` lets the fault-tolerant session quarantine bad
+rules and skip failed option phases, prints the health report, and
+exits with code 5 when the result is degraded.  Exit codes are
+distinct per failure class: 0 success, 1 analysis found the schema
+unmappable, 2 parse/usage errors, 3 analysis failures, 4 mapping
+failures, 5 degraded best-effort success.
 """
 
 from __future__ import annotations
@@ -22,10 +32,18 @@ from pathlib import Path
 
 from repro.analyzer import analyze
 from repro.dsl import parse
-from repro.errors import RidlError
+from repro.errors import AnalysisError, MappingError, RidlError
 from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
 from repro.notation import render_ascii, render_dot
 from repro.sql import PROFILES
+
+#: Exit codes, one per failure class (see the module docstring).
+EXIT_OK = 0
+EXIT_UNMAPPABLE = 1
+EXIT_USAGE = 2
+EXIT_ANALYSIS = 3
+EXIT_MAPPING = 4
+EXIT_DEGRADED = 5
 
 _NULL_CHOICES = {policy.name: policy for policy in NullPolicy}
 _SUBLINK_CHOICES = {policy.name: policy for policy in SublinkPolicy}
@@ -103,6 +121,23 @@ def _add_option_arguments(command: argparse.ArgumentParser) -> None:
         metavar="TABLE",
         help="omit a generated table (mapping option 5)",
     )
+    modes = command.add_mutually_exclusive_group()
+    modes.add_argument(
+        "--strict",
+        dest="mode",
+        action="store_const",
+        const="strict",
+        default="strict",
+        help="abort the session on the first failed step (default)",
+    )
+    modes.add_argument(
+        "--best-effort",
+        dest="mode",
+        action="store_const",
+        const="best-effort",
+        help="quarantine bad rules, skip failed option phases, "
+        "report health (exit 5 when degraded)",
+    )
 
 
 def _options_from(namespace: argparse.Namespace) -> MappingOptions:
@@ -135,35 +170,53 @@ def main(argv: list[str] | None = None, out=None) -> int:
         if namespace.command == "analyze":
             report = analyze(_load(namespace.schema))
             print(report.render(), file=out)
-            return 0 if report.is_mappable else 1
+            return EXIT_OK if report.is_mappable else EXIT_UNMAPPABLE
         if namespace.command == "map":
             result = map_schema(
-                _load(namespace.schema), _options_from(namespace)
+                _load(namespace.schema),
+                _options_from(namespace),
+                robustness=namespace.mode,
             )
             print(result.sql(namespace.dialect), file=out)
-            return 0
+            return _finish_mapping(result, out)
         if namespace.command == "report":
             result = map_schema(
-                _load(namespace.schema), _options_from(namespace)
+                _load(namespace.schema),
+                _options_from(namespace),
+                robustness=namespace.mode,
             )
             written = write_artifacts(result, namespace.out)
             for path in written:
                 print(path, file=out)
-            return 0
+            return _finish_mapping(result, out)
         if namespace.command == "show":
             schema = _load(namespace.schema)
             renderer = render_dot if namespace.format == "dot" else render_ascii
             print(renderer(schema), file=out)
-            return 0
+            return EXIT_OK
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=out)
-        return 2
+        return EXIT_USAGE
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=out)
+        return EXIT_ANALYSIS
+    except MappingError as exc:
+        print(f"error: {exc}", file=out)
+        return EXIT_MAPPING
     except RidlError as exc:
         print(f"error: {exc}", file=out)
-        return 2
+        return EXIT_USAGE
     except BrokenPipeError:  # pragma: no cover - e.g. `| head`
-        return 0
-    return 2  # pragma: no cover - argparse enforces the commands
+        return EXIT_OK
+    return EXIT_USAGE  # pragma: no cover - argparse enforces the commands
+
+
+def _finish_mapping(result, out) -> int:
+    """Surface the session health; degraded best-effort runs exit 5."""
+    if result.health.ok:
+        return EXIT_OK
+    print(result.health_report(), file=out)
+    return EXIT_DEGRADED
 
 
 def write_artifacts(result, directory: Path) -> list[Path]:
@@ -186,6 +239,9 @@ def write_artifacts(result, directory: Path) -> list[Path]:
     trace_path = directory / "trace.txt"
     trace_path.write_text(result.trace_report() + "\n")
     written.append(trace_path)
+    health_path = directory / "health.txt"
+    health_path.write_text(result.health_report() + "\n")
+    written.append(health_path)
     return written
 
 

@@ -76,6 +76,56 @@ class TransformationError(MappingError):
     """A basic schema transformation was applied to an invalid input."""
 
 
+class StepBudgetExceeded(MappingError):
+    """The transformation engine hit its firing budget before quiescing.
+
+    Carries the firing history so a non-terminating rule base can be
+    diagnosed from the error alone: ``limit`` is the budget that was
+    exhausted and ``history`` the names of the rules fired, in order.
+    """
+
+    def __init__(self, limit: int, history: tuple[str, ...]) -> None:
+        tail = ", ".join(history[-10:]) if history else "(none)"
+        prefix = "..., " if len(history) > 10 else ""
+        super().__init__(
+            f"rule base did not quiesce after {limit} firings; "
+            f"check rule guards for progress (firing history: "
+            f"{prefix}{tail})"
+        )
+        self.limit = limit
+        self.history = history
+
+
+class QuarantinedRuleError(MappingError):
+    """A guarded rule firing failed and the rule was quarantined.
+
+    Raised (in strict mode) after the offending firing has been rolled
+    back; ``rule_name`` names the quarantined rule and ``reason``
+    records the guard's finding or the exception the action raised.
+    """
+
+    def __init__(self, rule_name: str, reason: str) -> None:
+        super().__init__(
+            f"rule {rule_name!r} quarantined after rollback: {reason}"
+        )
+        self.rule_name = rule_name
+        self.reason = reason
+
+
+class CheckpointError(MappingError):
+    """A mapping phase failed; earlier phases are checkpointed.
+
+    ``phase`` names the failed phase.  When a
+    :class:`~repro.robustness.CheckpointManager` was in use, rerunning
+    ``map_schema`` with the same manager resumes from the last good
+    checkpoint instead of redoing the completed phases.
+    """
+
+    def __init__(self, phase: str, message: str) -> None:
+        super().__init__(f"mapping phase {phase!r} failed: {message}")
+        self.phase = phase
+
+
 class SqlGenerationError(RidlError):
     """A SQL emitter could not render the relational schema."""
 

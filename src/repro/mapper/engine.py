@@ -5,9 +5,22 @@ RIDL-A errors is refused), the rule-driven binary-to-binary phase,
 plan synthesis, the combine/omit relational options, materialization
 with lossless rules, and assembly of the
 :class:`~repro.mapper.result.MappingResult`.
+
+The session is fault tolerant (see ``docs/ROBUSTNESS.md``): every
+rule firing runs under a :class:`~repro.robustness.GuardedExecutor`
+that snapshots the state, re-validates invariants after the firing,
+and rolls back and quarantines an offending rule; the phases can be
+checkpointed through a :class:`~repro.robustness.CheckpointManager`
+so a failed session resumes instead of restarting; and the
+:class:`~repro.robustness.HealthReport` on the result records every
+recovery decision.  ``robustness="strict"`` (default) aborts on the
+first failure, ``robustness="best-effort"`` survives bad expert rules
+and failed optional phases and reports the degradation.
 """
 
 from __future__ import annotations
+
+import copy
 
 from repro.analyzer.api import analyze
 from repro.brm.schema import BinarySchema
@@ -20,6 +33,14 @@ from repro.mapper.rulebase import Rule, TransformationEngine
 from repro.mapper.state import MappingState
 from repro.mapper.state_map import RelationalStateMap
 from repro.mapper.synthesis import build_plan
+from repro.robustness import (
+    CheckpointManager,
+    GuardedExecutor,
+    RecoveryMode,
+    faults,
+    resolve_mode,
+)
+from repro.robustness.health import HealthReport
 
 
 def map_schema(
@@ -28,6 +49,8 @@ def map_schema(
     *,
     analyze_first: bool = True,
     extra_rules: tuple[Rule, ...] = (),
+    robustness: RecoveryMode | str | None = None,
+    checkpoints: CheckpointManager | None = None,
 ) -> MappingResult:
     """Map a binary conceptual schema to a relational design.
 
@@ -38,21 +61,78 @@ def map_schema(
     non-referable object types block unless the NULL ALLOWED policy is
     chosen (a non-homogeneous reference may still make them mappable,
     which the synthesis verifies).
+
+    ``robustness`` selects the recovery mode (``"strict"`` default,
+    ``"best-effort"`` to survive bad rules and failed mapping-option
+    phases); ``checkpoints`` is an optional
+    :class:`~repro.robustness.CheckpointManager` — pass the same
+    manager again after a failure to resume the session from the last
+    completed phase.
     """
     options = options or MappingOptions()
+    mode = resolve_mode(robustness)
     if analyze_first:
         _gate(schema, options)
+    if checkpoints is not None:
+        checkpoints.bind(schema.name, options)
+    health = HealthReport(mode=mode.value)
     state = MappingState(
         schema=schema.copy(), options=options, original=schema
     )
+    executor = GuardedExecutor(mode, health)
     engine = TransformationEngine()
     for rule in extra_rules:
         engine.add_rule(rule)
-    engine.run(state)
-    plan = build_plan(state)
-    apply_combines(state, plan)
-    apply_omissions(state, plan)
-    relational, provenance = materialize(state, plan)
+
+    def run_phase(name, fn):
+        if checkpoints is not None:
+            return checkpoints.run(name, state, fn, health)
+        faults.reach(f"phase:{name}", state=state)
+        value = fn()
+        health.completed_phases.append(name)
+        return value
+
+    def run_optional_phase(name, fn, fallback):
+        """A mapping-option phase: best-effort sessions survive its
+        failure by rolling it back and continuing without it."""
+        if mode is not RecoveryMode.BEST_EFFORT:
+            return run_phase(name, fn)
+        entry = state.snapshot()
+        backup = copy.deepcopy(fallback)
+        try:
+            return run_phase(name, fn)
+        except Exception as exc:
+            state.restore(entry)
+            health.rollback(f"phase:{name}", f"rolled back after {exc!r}")
+            health.degrade(f"mapping option phase {name!r} skipped: {exc}")
+            return backup
+
+    def binary_phase():
+        engine.run(state, executor=executor)
+        return None
+
+    run_phase("binary", binary_phase)
+    plan = run_phase("plan", lambda: build_plan(state))
+
+    def combines_phase(p=plan):
+        apply_combines(state, p)
+        return p
+
+    plan = run_optional_phase("combines", combines_phase, plan)
+
+    def omissions_phase(p=plan):
+        apply_omissions(state, p)
+        return p
+
+    plan = run_optional_phase("omissions", omissions_phase, plan)
+
+    def materialize_phase(p=plan):
+        relational, provenance = materialize(state, p)
+        return relational, provenance, p
+
+    relational, provenance, plan = run_phase(
+        "materialize", materialize_phase
+    )
     for pseudo in state.pseudo_constraints:
         provenance.add_forward(
             f"PSEUDO {pseudo.name}",
@@ -69,6 +149,7 @@ def map_schema(
         pseudo_constraints=state.pseudo_constraints,
         state=state,
         state_map=RelationalStateMap(plan, relational),
+        health=health,
     )
 
 

@@ -41,6 +41,7 @@ from repro.mapper.plan import (
 )
 from repro.mapper.state import MappingState
 from repro.mapper.synthesis import MappingPlan, PairLeaf, RoleLocation
+from repro.robustness import faults
 from repro.mapper.trace import Provenance, PseudoConstraint
 from repro.relational.constraints import (
     CandidateKey,
@@ -82,6 +83,7 @@ def materialize(
     _materialize_relations(state, plan, rschema, provenance)
     _add_fact_foreign_keys(state, plan, rschema, provenance)
     _wire_sublinks(state, plan, rschema, provenance)
+    faults.reach("materialize.constraints", state=state)
     _map_constraints(state, plan, rschema, provenance)
     _map_value_constraints(state, plan, rschema, provenance)
     _record_object_type_forward(plan, rschema, provenance)

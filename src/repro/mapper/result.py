@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.brm.population import Population
 from repro.brm.schema import BinarySchema
@@ -13,6 +13,7 @@ from repro.mapper.state_map import RelationalStateMap, canonicalize_population
 from repro.mapper.synthesis import MappingPlan
 from repro.mapper.trace import AppliedStep, Provenance, PseudoConstraint
 from repro.relational.schema import RelationalSchema
+from repro.robustness.health import HealthReport
 
 
 @dataclass
@@ -38,6 +39,9 @@ class MappingResult:
     pseudo_constraints: list[PseudoConstraint]
     state: MappingState
     state_map: RelationalStateMap
+    #: What the fault-tolerant session survived (quarantined rules,
+    #: rollbacks, degraded options); ``health.ok`` when nothing did.
+    health: HealthReport = field(default_factory=HealthReport)
 
     # ------------------------------------------------------------------
     # State mapping
@@ -75,6 +79,10 @@ class MappingResult:
         from repro.mapper.mapreport import render_map_report
 
         return render_map_report(self)
+
+    def health_report(self) -> str:
+        """The session health block (recovery decisions, guard cost)."""
+        return self.health.render()
 
     def trace_report(self) -> str:
         """The audit trail of applied basic transformations."""

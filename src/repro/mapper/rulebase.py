@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.errors import MappingError
+from repro.errors import MappingError, StepBudgetExceeded
 from repro.mapper.state import MappingState
 from repro.mapper.transformations.binary_binary import (
     apply_sublink_policies,
@@ -37,9 +37,19 @@ class Rule:
     action: Callable[[MappingState], None]
 
     def fire(self, state: MappingState) -> None:
-        """Apply the action and mark the rule as fired."""
-        self.action(state)
-        state.flags.add(f"fired:{self.name}")
+        """Apply the action; mark the rule fired only on success.
+
+        A raising action must leave no ``fired:`` flag behind (not
+        even one the action itself set), or a retry after rollback
+        would skip the rule permanently.
+        """
+        flag = f"fired:{self.name}"
+        try:
+            self.action(state)
+        except BaseException:
+            state.flags.discard(flag)
+            raise
+        state.flags.add(flag)
 
 
 def _once(name: str, condition: Callable[[MappingState], bool] | None = None):
@@ -87,18 +97,39 @@ class TransformationEngine:
                 return
         raise MappingError(f"no rule named {before!r} in the rule base")
 
-    def run(self, state: MappingState, *, max_firings: int = 1000) -> None:
-        """Fire applicable rules in order until none applies."""
+    def run(
+        self,
+        state: MappingState,
+        *,
+        max_firings: int = 1000,
+        executor=None,
+    ) -> None:
+        """Fire applicable rules in order until none applies.
+
+        With an ``executor`` (a
+        :class:`~repro.robustness.GuardedExecutor`) every firing is
+        snapshotted and validated: a firing that raises or breaks a
+        state invariant is rolled back and its rule quarantined
+        (skipped from then on).  Hitting ``max_firings`` raises
+        :class:`~repro.errors.StepBudgetExceeded` with the firing
+        history.
+        """
         firings = 0
+        history: list[str] = []
         while firings < max_firings:
             for rule in self.rules:
+                if executor is not None and executor.is_quarantined(
+                    rule.name
+                ):
+                    continue
                 if rule.when(state):
-                    rule.fire(state)
+                    if executor is None:
+                        rule.fire(state)
+                    else:
+                        executor.execute(rule, state)
                     firings += 1
+                    history.append(rule.name)
                     break
             else:
                 return
-        raise MappingError(
-            f"rule base did not quiesce after {max_firings} firings; "
-            "check rule guards for progress"
-        )
+        raise StepBudgetExceeded(max_firings, tuple(history))

@@ -52,6 +52,33 @@ class SynthesisHints:
     #: sublink name -> elimination record (TOGETHER policy)
     eliminations: dict[str, EliminationRecord] = field(default_factory=dict)
 
+    def copy(self) -> "SynthesisHints":
+        """An independent copy (records are immutable, dicts are not)."""
+        return SynthesisHints(
+            column_overrides=dict(self.column_overrides),
+            indicator_sublinks=dict(self.indicator_sublinks),
+            eliminations=dict(self.eliminations),
+        )
+
+
+@dataclass(frozen=True)
+class StateSnapshot:
+    """A restorable image of a :class:`MappingState`.
+
+    Schema elements, steps and pseudo constraints are immutable, so
+    copying the containers (and the schema's element dictionaries) is
+    enough for an independent image; population maps are closures and
+    are shared by reference.
+    """
+
+    schema: BinarySchema
+    steps: tuple
+    forward_maps: tuple
+    backward_maps: tuple
+    hints: SynthesisHints
+    pseudo_constraints: tuple
+    flags: frozenset[str]
+
 
 @dataclass
 class MappingState:
@@ -79,6 +106,28 @@ class MappingState:
         self.steps.append(
             AppliedStep(transformation, kind, target, detail, lossless_rules)
         )
+
+    def snapshot(self) -> StateSnapshot:
+        """Capture a restorable image of the working state."""
+        return StateSnapshot(
+            schema=self.schema.copy(),
+            steps=tuple(self.steps),
+            forward_maps=tuple(self.forward_maps),
+            backward_maps=tuple(self.backward_maps),
+            hints=self.hints.copy(),
+            pseudo_constraints=tuple(self.pseudo_constraints),
+            flags=frozenset(self.flags),
+        )
+
+    def restore(self, snapshot: StateSnapshot) -> None:
+        """Roll the working state back to a snapshot, in place."""
+        self.schema = snapshot.schema.copy()
+        self.steps = list(snapshot.steps)
+        self.forward_maps = list(snapshot.forward_maps)
+        self.backward_maps = list(snapshot.backward_maps)
+        self.hints = snapshot.hints.copy()
+        self.pseudo_constraints = list(snapshot.pseudo_constraints)
+        self.flags = set(snapshot.flags)
 
     def add_population_maps(
         self, forward: PopulationMap, backward: PopulationMap

@@ -1,0 +1,153 @@
+"""Deterministic fault injection for chaos-testing mapping sessions.
+
+The mapper is instrumented with named *injection points* (one per
+rule firing, one per mapping phase).  A test arms :class:`Fault`
+plans against those points; when execution reaches an armed point the
+fault fires — deterministically, on the configured hit — and either
+raises, corrupts the :class:`~repro.mapper.state.MappingState`, or
+exhausts the guard budget.  No randomness is involved, so every chaos
+run is exactly reproducible.
+
+Usage::
+
+    from repro.robustness import Fault, inject
+
+    with inject(Fault("rule:expert", kind="raise")):
+        map_schema(schema, extra_rules=(expert,), robustness="best-effort")
+
+Points currently instrumented:
+
+- ``rule:<name>`` — before the action of rule ``<name>`` fires,
+- ``phase:binary`` / ``phase:plan`` / ``phase:combines`` /
+  ``phase:omissions`` / ``phase:materialize`` — at the start of each
+  ``map_schema`` phase,
+- ``materialize.constraints`` — inside constraint materialization.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+#: Fault kinds: raise an exception, corrupt the mapping state, or
+#: exhaust the guarded executor's rollback budget.
+KINDS = ("raise", "corrupt", "budget")
+
+
+class FaultInjectedError(RuntimeError):
+    """The exception a ``raise``-kind fault throws at its point."""
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"fault injected at {point!r}")
+        self.point = point
+
+
+def _default_corruption(state) -> None:
+    """Break the forward/backward map symmetry — the cheapest way to
+    make a state unusable that the invariant guards still catch."""
+    state.forward_maps.append(lambda population: population)
+
+
+@dataclass
+class Fault:
+    """One armed fault.
+
+    ``point`` names the injection point; ``kind`` is one of
+    :data:`KINDS`; the fault triggers on hit number ``at`` (1-based)
+    of the point and then ``times`` consecutive hits.  A ``corrupt``
+    fault applies ``mutate`` to the live mapping state (default: break
+    the population-map symmetry).
+    """
+
+    point: str
+    kind: str = "raise"
+    at: int = 1
+    times: int = 1
+    mutate: Callable | None = None
+    hits: int = field(default=0, init=False)
+    triggered: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {KINDS}"
+            )
+
+    def matches(self, point: str) -> bool:
+        return self.point == point
+
+    def armed(self) -> bool:
+        """True while the fault can still trigger."""
+        return self.triggered < self.times
+
+
+class FaultInjector:
+    """The registry of armed faults (one module-level instance)."""
+
+    def __init__(self) -> None:
+        self._faults: list[Fault] = []
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+
+    def arm(self, *faults: Fault) -> None:
+        self._faults.extend(faults)
+
+    def disarm(self, *faults: Fault) -> None:
+        for fault in faults:
+            if fault in self._faults:
+                self._faults.remove(fault)
+
+    def clear(self) -> None:
+        self._faults.clear()
+
+    @property
+    def active(self) -> tuple[Fault, ...]:
+        return tuple(self._faults)
+
+    # ------------------------------------------------------------------
+    # The instrumented side
+    # ------------------------------------------------------------------
+
+    def reach(self, point: str, state=None, executor=None) -> None:
+        """Called by instrumented code when execution reaches a point.
+
+        A no-op unless a fault is armed for the point and its hit
+        counter says it is due.
+        """
+        if not self._faults:
+            return
+        for fault in self._faults:
+            if not fault.matches(point):
+                continue
+            fault.hits += 1
+            if fault.hits < fault.at or not fault.armed():
+                continue
+            fault.triggered += 1
+            if fault.kind == "raise":
+                raise FaultInjectedError(point)
+            if fault.kind == "corrupt" and state is not None:
+                (fault.mutate or _default_corruption)(state)
+            elif fault.kind == "budget" and executor is not None:
+                executor.exhaust(f"fault injected at {point!r}")
+
+
+#: The module-level injector all instrumented points report to.
+INJECTOR = FaultInjector()
+
+
+def reach(point: str, state=None, executor=None) -> None:
+    """Instrumentation hook (fast no-op when nothing is armed)."""
+    INJECTOR.reach(point, state=state, executor=executor)
+
+
+@contextmanager
+def inject(*faults: Fault) -> Iterator[FaultInjector]:
+    """Arm faults for the duration of a ``with`` block."""
+    INJECTOR.arm(*faults)
+    try:
+        yield INJECTOR
+    finally:
+        INJECTOR.disarm(*faults)

@@ -1,0 +1,127 @@
+"""The health report of a fault-tolerant mapping session.
+
+A mapping session that survives a bad expert rule or a failing phase
+must say exactly what degraded — "undocumented decisions" being a
+root cause of schema misuse applies to recovery decisions too.  The
+:class:`HealthReport` collects quarantined rules, rolled-back steps,
+degraded options, resumed checkpoints and guard timings; it is
+attached to the :class:`~repro.mapper.result.MappingResult` and
+rendered by the CLI in ``--best-effort`` mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class QuarantinedRule:
+    """One expert rule removed from the session after a rollback."""
+
+    rule: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.rule}: {self.reason}"
+
+
+@dataclass(frozen=True)
+class RolledBackStep:
+    """One step (rule firing or phase) undone by a snapshot restore."""
+
+    point: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.point}: {self.reason}"
+
+
+@dataclass
+class HealthReport:
+    """What a mapping session survived, and at what cost.
+
+    ``ok`` is True only for a session that needed no recovery at all;
+    a best-effort session that completed degraded still returns a
+    usable :class:`~repro.mapper.result.MappingResult`, and this
+    report is the record of everything that was given up.
+    """
+
+    mode: str = "strict"
+    quarantined: list[QuarantinedRule] = field(default_factory=list)
+    rolled_back: list[RolledBackStep] = field(default_factory=list)
+    degraded: list[str] = field(default_factory=list)
+    resumed_phases: list[str] = field(default_factory=list)
+    completed_phases: list[str] = field(default_factory=list)
+    #: guard point -> cumulative seconds spent validating it
+    guard_timings: dict[str, float] = field(default_factory=dict)
+    guarded_steps: int = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def quarantine(self, rule: str, reason: str) -> None:
+        """Record a rule removed from the session."""
+        self.quarantined.append(QuarantinedRule(rule, reason))
+
+    def rollback(self, point: str, reason: str) -> None:
+        """Record a snapshot restore."""
+        self.rolled_back.append(RolledBackStep(point, reason))
+
+    def degrade(self, what: str) -> None:
+        """Record a capability the session gave up."""
+        self.degraded.append(what)
+
+    def time_guard(self, point: str, seconds: float) -> None:
+        """Accumulate guard validation time for a point."""
+        self.guard_timings[point] = self.guard_timings.get(point, 0.0) + seconds
+        self.guarded_steps += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True when the session needed no recovery."""
+        return not (self.quarantined or self.rolled_back or self.degraded)
+
+    def quarantined_rule_names(self) -> tuple[str, ...]:
+        return tuple(entry.rule for entry in self.quarantined)
+
+    def summary(self) -> dict[str, int]:
+        """Counters for benchmarks and result statistics."""
+        return {
+            "quarantined_rules": len(self.quarantined),
+            "rolled_back_steps": len(self.rolled_back),
+            "degraded_options": len(self.degraded),
+            "resumed_phases": len(self.resumed_phases),
+            "guarded_steps": self.guarded_steps,
+        }
+
+    def render(self) -> str:
+        """A human-readable health block for the CLI and reports."""
+        lines = [
+            f"mapping session health ({self.mode} mode): "
+            + ("OK" if self.ok else "DEGRADED")
+        ]
+        if self.quarantined:
+            lines.append("quarantined rules:")
+            lines.extend(f"  - {entry}" for entry in self.quarantined)
+        if self.rolled_back:
+            lines.append("rolled-back steps:")
+            lines.extend(f"  - {entry}" for entry in self.rolled_back)
+        if self.degraded:
+            lines.append("degraded options:")
+            lines.extend(f"  - {entry}" for entry in self.degraded)
+        if self.resumed_phases:
+            lines.append(
+                "resumed from checkpoint: " + ", ".join(self.resumed_phases)
+            )
+        if self.guard_timings:
+            total = sum(self.guard_timings.values())
+            lines.append(
+                f"guards: {self.guarded_steps} validations, "
+                f"{total * 1000.0:.2f} ms total"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""The analyzer gate's NOT_REFERABLE tolerance (section 4.2.1).
+
+NOT_REFERABLE findings block mapping under the default options but
+are tolerated under ``NullPolicy.ALLOWED`` — a NOLOT with a
+non-homogeneous lexical representation is still mappable, which the
+synthesis verifies; one with no reference at all still fails there.
+"""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.errors import AnalysisError, NotReferableError
+from repro.mapper import MappingOptions, NullPolicy, map_schema
+from repro.mapper.engine import _gate
+
+
+def disjunctive_schema():
+    """A Part identified by DrawingNr or VendorCode — NOT_REFERABLE to
+    the analyzer, yet mappable with nullable keys."""
+    b = SchemaBuilder("parts")
+    b.nolot("Part").lot("DrawingNr", char(8)).lot("VendorCode", char(10))
+    b.fact("drawn", ("Part", "drawn_as"), ("DrawingNr", "drawing_of"),
+           unique="both")
+    b.fact("vended", ("Part", "vended_as"), ("VendorCode", "code_of"),
+           unique="both")
+    b.total_union("Part", ("drawn", "drawn_as"), ("vended", "vended_as"))
+    return b.build()
+
+
+def hopeless_schema():
+    """A NOLOT with no lexical reference at all — never mappable."""
+    b = SchemaBuilder("bad")
+    b.nolot("Ghost").lot("K", char(3))
+    b.attribute("Ghost", "K")
+    return b.build()
+
+
+class TestGateTolerance:
+    def test_not_referable_blocks_under_default_options(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            _gate(disjunctive_schema(), MappingOptions())
+        assert "NOT_REFERABLE" in str(excinfo.value)
+
+    def test_not_referable_tolerated_under_null_allowed(self):
+        _gate(
+            disjunctive_schema(),
+            MappingOptions(null_policy=NullPolicy.ALLOWED),
+        )  # does not raise
+
+    def test_other_errors_still_block_under_null_allowed(self):
+        b = SchemaBuilder("bad")
+        b.lot("A", char(3)).lot("B", char(3))
+        b.fact("l2l", ("A", "x"), ("B", "y"))  # LOT-to-LOT: correctness error
+        with pytest.raises(AnalysisError):
+            _gate(b.build(), MappingOptions(null_policy=NullPolicy.ALLOWED))
+
+    def test_synthesis_verifies_mappability(self):
+        # The tolerated schema really maps: the synthesis accepts the
+        # non-homogeneous reference and waives the Entity Integrity
+        # Rule with a nullable primary key.
+        result = map_schema(
+            disjunctive_schema(),
+            MappingOptions(null_policy=NullPolicy.ALLOWED),
+        )
+        part = result.relational.relation("Part")
+        pk = result.relational.primary_key("Part")
+        assert pk is not None
+        assert part.attribute(pk.columns[0]).nullable
+
+    def test_synthesis_rejects_the_hopeless_case(self):
+        # Tolerance is not blind: a NOLOT with no reference scheme at
+        # all passes the gate under NULL ALLOWED but the synthesis
+        # still reports it.
+        options = MappingOptions(null_policy=NullPolicy.ALLOWED)
+        _gate(hopeless_schema(), options)  # tolerated here...
+        with pytest.raises(NotReferableError):
+            map_schema(hopeless_schema(), options)  # ...caught here
+
+    def test_default_gate_blocks_the_hopeless_case_early(self):
+        with pytest.raises(AnalysisError):
+            map_schema(hopeless_schema())

@@ -1,0 +1,137 @@
+"""Phase checkpoints: resume a failed mapping session."""
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.errors import CheckpointError
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+from repro.robustness import CheckpointManager, Fault, inject
+
+
+def relation_names(result):
+    return {r.name for r in result.relational.relations}
+
+
+class TestCheckpointResume:
+    def test_all_phases_checkpointed_on_success(self):
+        manager = CheckpointManager()
+        result = map_schema(figure6_schema(), checkpoints=manager)
+        assert manager.completed_phases == (
+            "binary",
+            "plan",
+            "combines",
+            "omissions",
+            "materialize",
+        )
+        assert result.health.completed_phases == list(
+            manager.completed_phases
+        )
+
+    @pytest.mark.parametrize(
+        "phase", ["plan", "combines", "omissions", "materialize"]
+    )
+    def test_resume_after_phase_failure(self, phase):
+        baseline = map_schema(figure6_schema())
+        manager = CheckpointManager()
+        with inject(Fault(f"phase:{phase}", kind="raise")):
+            with pytest.raises(CheckpointError) as excinfo:
+                map_schema(figure6_schema(), checkpoints=manager)
+        assert excinfo.value.phase == phase
+        assert phase not in manager.completed_phases
+        result = map_schema(figure6_schema(), checkpoints=manager)
+        assert result.health.resumed_phases == list(
+            manager.completed_phases[: len(result.health.resumed_phases)]
+        )
+        assert relation_names(result) == relation_names(baseline)
+        assert result.sql("sql2") == baseline.sql("sql2")
+        assert result.map_report() == baseline.map_report()
+
+    def test_resume_skips_rule_firing_work(self):
+        manager = CheckpointManager()
+        with inject(Fault("phase:materialize", kind="raise")):
+            with pytest.raises(CheckpointError):
+                map_schema(figure6_schema(), checkpoints=manager)
+        result = map_schema(figure6_schema(), checkpoints=manager)
+        # The binary phase was not re-run: no guard timings this run.
+        assert result.health.guarded_steps == 0
+        assert "binary" in result.health.resumed_phases
+
+    def test_lossless_round_trip_after_resume(self):
+        from repro.cris import figure6_population
+
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        manager = CheckpointManager()
+        with inject(Fault("phase:materialize", kind="raise")):
+            with pytest.raises(CheckpointError):
+                map_schema(schema, checkpoints=manager)
+        result = map_schema(schema, checkpoints=manager)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid()
+        assert result.state_map.backward(database) == canonical
+
+
+class TestCheckpointSafety:
+    def test_failed_phase_rolls_state_back(self):
+        manager = CheckpointManager()
+        with inject(Fault("phase:materialize", kind="raise")):
+            with pytest.raises(CheckpointError):
+                map_schema(
+                    figure6_schema(),
+                    MappingOptions(omit_tables=("Invited_Paper",)),
+                    checkpoints=manager,
+                )
+        # Retrying must not double-apply the omissions recorded before
+        # the failure: the pseudo-constraint appears exactly once.
+        result = map_schema(
+            figure6_schema(),
+            MappingOptions(omit_tables=("Invited_Paper",)),
+            checkpoints=manager,
+        )
+        omitted = [
+            p
+            for p in result.pseudo_constraints
+            if p.name == "OMITTED$Invited_Paper"
+        ]
+        assert len(omitted) == 1
+
+    def test_manager_refuses_a_different_session(self):
+        manager = CheckpointManager()
+        map_schema(figure6_schema(), checkpoints=manager)
+        with pytest.raises(CheckpointError):
+            map_schema(
+                figure6_schema(),
+                MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+                checkpoints=manager,
+            )
+
+    def test_clear_unbinds_the_manager(self):
+        manager = CheckpointManager()
+        map_schema(figure6_schema(), checkpoints=manager)
+        manager.clear()
+        assert manager.completed_phases == ()
+        result = map_schema(
+            figure6_schema(),
+            MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+            checkpoints=manager,
+        )
+        assert result.relational.relations
+
+    def test_invalidate_from_drops_suffix(self):
+        manager = CheckpointManager()
+        map_schema(figure6_schema(), checkpoints=manager)
+        manager.invalidate_from("combines")
+        assert manager.completed_phases == ("binary", "plan")
+        manager.invalidate_from("nope")  # unknown phases are a no-op
+        assert manager.completed_phases == ("binary", "plan")
+
+    def test_completed_session_replays_from_cache(self):
+        baseline = map_schema(figure6_schema())
+        manager = CheckpointManager()
+        map_schema(figure6_schema(), checkpoints=manager)
+        replay = map_schema(figure6_schema(), checkpoints=manager)
+        assert replay.health.resumed_phases == list(
+            manager.completed_phases
+        )
+        assert replay.sql("sql2") == baseline.sql("sql2")

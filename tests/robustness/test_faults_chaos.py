@@ -1,0 +1,213 @@
+"""Chaos tests: deterministic fault injection against mapping sessions.
+
+The acceptance bar for the fault-tolerant mapper: under injected
+faults (a raising rule, a state-corrupting rule, guard-budget
+exhaustion) a best-effort session still completes, the corrupted step
+is rolled back so the final relational schema equals the no-fault
+run, and the health report names every quarantined rule.
+"""
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.errors import CheckpointError, MappingError
+from repro.mapper import Rule, map_schema
+from repro.robustness import (
+    Fault,
+    FaultInjectedError,
+    FaultInjector,
+    INJECTOR,
+    inject,
+)
+
+
+def expert_noop(name):
+    """A harmless expert rule — the chaos target."""
+    return Rule(
+        name, lambda s: f"fired:{name}" not in s.flags, lambda s: None
+    )
+
+
+def relation_names(result):
+    return {r.name for r in result.relational.relations}
+
+
+@pytest.fixture()
+def baseline():
+    return map_schema(figure6_schema(), extra_rules=(expert_noop("tweak"),))
+
+
+class TestRaisingRuleFault:
+    def test_best_effort_completes_and_matches_baseline(self, baseline):
+        with inject(Fault("rule:tweak", kind="raise")):
+            result = map_schema(
+                figure6_schema(),
+                extra_rules=(expert_noop("tweak"),),
+                robustness="best-effort",
+            )
+        assert relation_names(result) == relation_names(baseline)
+        assert result.sql("sql2") == baseline.sql("sql2")
+        assert result.health.quarantined_rule_names() == ("tweak",)
+        assert not result.health.ok
+        assert any(
+            entry.point == "rule:tweak" for entry in result.health.rolled_back
+        )
+
+    def test_strict_aborts_on_the_same_fault(self):
+        with inject(Fault("rule:tweak", kind="raise")):
+            with pytest.raises(MappingError):
+                map_schema(
+                    figure6_schema(), extra_rules=(expert_noop("tweak"),)
+                )
+
+
+class TestCorruptingRuleFault:
+    def test_corruption_rolled_back_schema_identical(self, baseline):
+        with inject(Fault("rule:tweak", kind="corrupt")):
+            result = map_schema(
+                figure6_schema(),
+                extra_rules=(expert_noop("tweak"),),
+                robustness="best-effort",
+            )
+        assert relation_names(result) == relation_names(baseline)
+        assert result.sql("sql2") == baseline.sql("sql2")
+        assert result.map_report() == baseline.map_report()
+        assert result.health.quarantined_rule_names() == ("tweak",)
+        # The corrupted maps were rolled back with everything else.
+        assert len(result.state.forward_maps) == len(
+            result.state.backward_maps
+        )
+
+    def test_custom_corruption_detected(self, baseline):
+        def drop_facts(state):
+            state.schema._fact_types.clear()
+
+        with inject(
+            Fault("rule:tweak", kind="corrupt", mutate=drop_facts)
+        ):
+            result = map_schema(
+                figure6_schema(),
+                extra_rules=(expert_noop("tweak"),),
+                robustness="best-effort",
+            )
+        assert result.sql("sql2") == baseline.sql("sql2")
+        assert result.health.quarantined_rule_names() == ("tweak",)
+
+
+class TestBudgetExhaustionFault:
+    def test_session_completes_degraded(self, baseline):
+        with inject(Fault("rule:tweak", kind="budget")):
+            result = map_schema(
+                figure6_schema(),
+                extra_rules=(expert_noop("tweak"),),
+                robustness="best-effort",
+            )
+        assert relation_names(result) == relation_names(baseline)
+        assert not result.health.ok
+        assert any("budget" in d for d in result.health.degraded)
+
+
+class TestMultipleFaults:
+    def test_every_quarantined_rule_is_named(self, baseline):
+        rules = (
+            expert_noop("tweak"),
+            expert_noop("polish"),
+            expert_noop("shine"),
+        )
+        with inject(
+            Fault("rule:tweak", kind="raise"),
+            Fault("rule:shine", kind="corrupt"),
+        ):
+            result = map_schema(
+                figure6_schema(), extra_rules=rules, robustness="best-effort"
+            )
+        assert set(result.health.quarantined_rule_names()) == {
+            "tweak",
+            "shine",
+        }
+        assert "fired:polish" in result.state.flags
+        assert result.sql("sql2") == baseline.sql("sql2")
+        report = result.health_report()
+        assert "tweak" in report and "shine" in report
+
+
+class TestPhaseFaults:
+    def test_materialize_constraint_fault_fails_cleanly(self):
+        with inject(Fault("materialize.constraints", kind="raise")):
+            with pytest.raises(FaultInjectedError):
+                map_schema(figure6_schema())
+
+    def test_optional_phase_fault_degrades_best_effort(self, baseline):
+        with inject(Fault("phase:combines", kind="raise")):
+            result = map_schema(
+                figure6_schema(), robustness="best-effort"
+            )
+        assert result.relational.relations
+        assert any("combines" in d for d in result.health.degraded)
+
+    def test_required_phase_fault_fails_even_best_effort(self):
+        with inject(Fault("phase:plan", kind="raise")):
+            with pytest.raises(FaultInjectedError):
+                map_schema(figure6_schema(), robustness="best-effort")
+
+
+class TestFaultDeterminism:
+    def test_trigger_on_nth_hit(self):
+        injector = FaultInjector()
+        fault = Fault("p", kind="raise", at=3)
+        injector.arm(fault)
+        injector.reach("p")
+        injector.reach("p")
+        with pytest.raises(FaultInjectedError):
+            injector.reach("p")
+        injector.reach("p")  # times=1: spent after one trigger
+        assert fault.hits == 4
+        assert fault.triggered == 1
+
+    def test_times_bounds_triggers(self):
+        injector = FaultInjector()
+        injector.arm(Fault("p", kind="raise", times=2))
+        for _ in range(2):
+            with pytest.raises(FaultInjectedError):
+                injector.reach("p")
+        injector.reach("p")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Fault("p", kind="explode")
+
+    def test_inject_disarms_on_exit(self):
+        before = len(INJECTOR.active)
+        with inject(Fault("p", kind="raise")):
+            assert len(INJECTOR.active) == before + 1
+        assert len(INJECTOR.active) == before
+
+    def test_chaos_runs_are_reproducible(self):
+        outcomes = []
+        for _ in range(2):
+            with inject(Fault("rule:tweak", kind="raise")):
+                result = map_schema(
+                    figure6_schema(),
+                    extra_rules=(expert_noop("tweak"),),
+                    robustness="best-effort",
+                )
+            outcomes.append(
+                (
+                    result.health.quarantined_rule_names(),
+                    result.sql("sql2"),
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFaultsWithCheckpoints:
+    def test_injected_phase_failure_then_resume(self):
+        from repro.robustness import CheckpointManager
+
+        baseline = map_schema(figure6_schema())
+        manager = CheckpointManager()
+        with inject(Fault("phase:materialize", kind="raise")):
+            with pytest.raises(CheckpointError):
+                map_schema(figure6_schema(), checkpoints=manager)
+        result = map_schema(figure6_schema(), checkpoints=manager)
+        assert result.sql("sql2") == baseline.sql("sql2")

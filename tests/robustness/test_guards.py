@@ -1,0 +1,256 @@
+"""Per-step invariant guards: snapshot, rollback, quarantine."""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import figure6_schema
+from repro.errors import QuarantinedRuleError, StepBudgetExceeded
+from repro.mapper import (
+    MappingOptions,
+    MappingState,
+    Rule,
+    TransformationEngine,
+    map_schema,
+)
+from repro.robustness import (
+    GuardedExecutor,
+    RecoveryMode,
+    check_state_invariants,
+    resolve_mode,
+)
+
+
+def fresh_state(schema=None):
+    schema = schema or figure6_schema()
+    return MappingState(
+        schema=schema.copy(), options=MappingOptions(), original=schema
+    )
+
+
+def once(name):
+    return lambda s: f"fired:{name}" not in s.flags
+
+
+class TestStateSnapshot:
+    def test_snapshot_restores_schema_and_trail(self):
+        state = fresh_state()
+        snapshot = state.snapshot()
+        state.record("bogus", "binary-binary", "x", "detail")
+        state.flags.add("fired:bogus")
+        state.forward_maps.append(lambda p: p)
+        state.schema._object_types.clear()
+        state.restore(snapshot)
+        assert state.steps == []
+        assert state.flags == set()
+        assert state.forward_maps == []
+        assert {t.name for t in state.schema.object_types} == {
+            t.name for t in figure6_schema().object_types
+        }
+
+    def test_snapshot_survives_repeated_restores(self):
+        state = fresh_state()
+        snapshot = state.snapshot()
+        for _ in range(2):
+            state.schema._fact_types.clear()
+            state.restore(snapshot)
+            assert state.schema.fact_types
+
+
+class TestInvariants:
+    def test_healthy_state_has_no_violations(self):
+        assert check_state_invariants(fresh_state()) == []
+
+    def test_map_asymmetry_detected(self):
+        state = fresh_state()
+        state.forward_maps.append(lambda p: p)
+        violations = check_state_invariants(state)
+        assert any("symmetry" in v for v in violations)
+
+    def test_roundtrip_failure_detected(self):
+        state = fresh_state()
+        # A forward map that invents instances the backward map cannot
+        # remove breaks the lossless round trip.
+        def forward(population):
+            population = population.copy()
+            population.add_instance("Person", "ghost")
+            return population
+
+        state.add_population_maps(forward, lambda p: p)
+        violations = check_state_invariants(state)
+        assert any("round-trip" in v for v in violations)
+
+    def test_corrupted_schema_reported_not_raised(self):
+        state = fresh_state()
+        state.schema._object_types.clear()  # dangling facts remain
+        violations = check_state_invariants(state)
+        assert violations
+        assert any(
+            "analyzable" in v or "correctness" in v for v in violations
+        )
+
+
+class TestGuardedExecutor:
+    def test_successful_firing_is_kept(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.BEST_EFFORT)
+        rule = Rule("noop", once("noop"), lambda s: None)
+        assert executor.execute(rule, state) is True
+        assert "fired:noop" in state.flags
+        assert executor.health.ok
+
+    def test_raising_rule_rolled_back_and_quarantined(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.BEST_EFFORT)
+
+        def action(s):
+            s.record("partial", "binary-binary", "x", "mutates then dies")
+            raise RuntimeError("boom")
+
+        rule = Rule("bad", once("bad"), action)
+        assert executor.execute(rule, state) is False
+        assert state.steps == []  # the partial mutation was undone
+        assert "fired:bad" not in state.flags
+        assert executor.is_quarantined("bad")
+        assert executor.health.quarantined_rule_names() == ("bad",)
+
+    def test_corrupting_rule_rolled_back(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.BEST_EFFORT)
+        rule = Rule(
+            "corrupt",
+            once("corrupt"),
+            lambda s: s.forward_maps.append(lambda p: p),
+        )
+        assert executor.execute(rule, state) is False
+        assert state.forward_maps == []
+        assert executor.is_quarantined("corrupt")
+
+    def test_strict_mode_raises_after_rollback(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.STRICT)
+        rule = Rule(
+            "bad", once("bad"), lambda s: (_ for _ in ()).throw(ValueError("x"))
+        )
+        with pytest.raises(QuarantinedRuleError) as excinfo:
+            executor.execute(rule, state)
+        assert excinfo.value.rule_name == "bad"
+        assert state.steps == []
+
+    def test_budget_exhaustion_degrades_then_refuses(self):
+        state = fresh_state()
+        executor = GuardedExecutor(
+            RecoveryMode.BEST_EFFORT, rollback_budget=1
+        )
+        bad = Rule(
+            "bad1", once("bad1"),
+            lambda s: (_ for _ in ()).throw(ValueError("x")),
+        )
+        assert executor.execute(bad, state) is False  # spends the budget
+        assert executor.exhausted
+        assert any("budget" in d for d in executor.health.degraded)
+        worse = Rule(
+            "bad2", once("bad2"),
+            lambda s: (_ for _ in ()).throw(ValueError("y")),
+        )
+        with pytest.raises(QuarantinedRuleError):
+            executor.execute(worse, state)
+
+    def test_guard_timings_recorded(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.STRICT)
+        executor.execute(Rule("noop", once("noop"), lambda s: None), state)
+        assert "rule:noop" in executor.health.guard_timings
+        assert executor.health.guarded_steps == 1
+
+
+class TestEngineWithExecutor:
+    def test_quarantined_rule_skipped_and_session_quiesces(self):
+        state = fresh_state()
+        executor = GuardedExecutor(RecoveryMode.BEST_EFFORT)
+        engine = TransformationEngine()
+        engine.add_rule(
+            Rule(
+                "always-bad",
+                lambda s: "fired:always-bad" not in s.flags,
+                lambda s: (_ for _ in ()).throw(RuntimeError("boom")),
+            )
+        )
+        engine.run(state, executor=executor)
+        fired = {f for f in state.flags if f.startswith("fired:")}
+        assert fired == {
+            "fired:restrict-scope",
+            "fired:canonicalize",
+            "fired:sublink-options",
+        }
+        assert executor.is_quarantined("always-bad")
+
+    def test_budget_raises_step_budget_exceeded_with_history(self):
+        state = fresh_state()
+        engine = TransformationEngine(
+            [Rule("loop", lambda s: True, lambda s: None)]
+        )
+        with pytest.raises(StepBudgetExceeded) as excinfo:
+            engine.run(state, max_firings=7)
+        assert excinfo.value.limit == 7
+        assert excinfo.value.history == ("loop",) * 7
+        assert "loop" in str(excinfo.value)
+
+
+class TestRuleFireFlag:
+    def test_flag_only_recorded_after_success(self):
+        state = fresh_state()
+        rule = Rule(
+            "dies", once("dies"),
+            lambda s: (_ for _ in ()).throw(RuntimeError("x")),
+        )
+        with pytest.raises(RuntimeError):
+            rule.fire(state)
+        assert "fired:dies" not in state.flags
+
+    def test_self_marking_action_unmarked_on_failure(self):
+        # An action that sets its own fired flag and then raises must
+        # not stay marked, or a retry after rollback would skip it.
+        state = fresh_state()
+
+        def action(s):
+            s.flags.add("fired:eager")
+            raise RuntimeError("x")
+
+        rule = Rule("eager", once("eager"), action)
+        with pytest.raises(RuntimeError):
+            rule.fire(state)
+        assert "fired:eager" not in state.flags
+        assert rule.when(state)  # still eligible for a retry
+
+
+class TestResolveMode:
+    def test_accepts_enum_string_and_none(self):
+        assert resolve_mode(None) is RecoveryMode.STRICT
+        assert resolve_mode("strict") is RecoveryMode.STRICT
+        assert resolve_mode("best-effort") is RecoveryMode.BEST_EFFORT
+        assert resolve_mode("BEST_EFFORT") is RecoveryMode.BEST_EFFORT
+        assert (
+            resolve_mode(RecoveryMode.BEST_EFFORT)
+            is RecoveryMode.BEST_EFFORT
+        )
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_mode("yolo")
+
+
+class TestMapSchemaStrictDefault:
+    def test_bad_expert_rule_aborts_strict_session(self):
+        bad = Rule(
+            "bad-expert",
+            lambda s: "fired:bad-expert" not in s.flags,
+            lambda s: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        with pytest.raises(QuarantinedRuleError):
+            map_schema(figure6_schema(), extra_rules=(bad,))
+
+    def test_clean_session_health_is_ok(self):
+        result = map_schema(figure6_schema())
+        assert result.health.ok
+        assert result.health.guarded_steps >= 3
+        assert "OK" in result.health_report()

@@ -1,0 +1,52 @@
+"""The session health report."""
+
+from repro.robustness import HealthReport
+
+
+class TestHealthReport:
+    def test_fresh_report_is_ok(self):
+        health = HealthReport()
+        assert health.ok
+        assert health.summary() == {
+            "quarantined_rules": 0,
+            "rolled_back_steps": 0,
+            "degraded_options": 0,
+            "resumed_phases": 0,
+            "guarded_steps": 0,
+        }
+        assert "OK" in health.render()
+
+    def test_recording_degrades(self):
+        health = HealthReport(mode="best-effort")
+        health.quarantine("bad-rule", "action raised ValueError('x')")
+        health.rollback("rule:bad-rule", "action raised ValueError('x')")
+        health.degrade("mapping option phase 'combines' skipped")
+        health.resumed_phases.append("binary")
+        assert not health.ok
+        summary = health.summary()
+        assert summary["quarantined_rules"] == 1
+        assert summary["rolled_back_steps"] == 1
+        assert summary["degraded_options"] == 1
+        assert summary["resumed_phases"] == 1
+
+    def test_render_names_everything(self):
+        health = HealthReport(mode="best-effort")
+        health.quarantine("bad-rule", "boom")
+        health.rollback("rule:bad-rule", "boom")
+        health.degrade("combines skipped")
+        health.resumed_phases.append("plan")
+        health.time_guard("rule:canonicalize", 0.001)
+        text = health.render()
+        assert "DEGRADED" in text
+        assert "bad-rule: boom" in text
+        assert "combines skipped" in text
+        assert "plan" in text
+        assert "1 validations" in text
+
+    def test_guard_timings_accumulate(self):
+        health = HealthReport()
+        health.time_guard("rule:x", 0.5)
+        health.time_guard("rule:x", 0.25)
+        assert health.guard_timings["rule:x"] == 0.75
+        assert health.guarded_steps == 2
+        assert health.ok  # timings alone do not degrade a session
