@@ -13,6 +13,8 @@ large constraint load (the same order of pages-per-table), and the
 "not a limit" claim holds by mapping a still larger schema.
 """
 
+from time import perf_counter
+
 import pytest
 
 from conftest import emit
@@ -20,6 +22,27 @@ from repro.mapper import MappingOptions, SublinkPolicy, map_schema
 from repro.workloads import SchemaShape, generate_schema
 
 LINES_PER_PAGE = 54
+
+#: Guarded ``map_schema`` wall time on this workload measured at the
+#: PR-1 tip (linear-scan schema queries, full re-analysis per step),
+#: on the machine that committed the first baseline.  Kept so the
+#: emitted JSON always records the before/after pair for the
+#: version-stamped index layer.
+PRE_INDEX_GUARDED_WALL_S = 2.811
+
+
+def calibration_time() -> float:
+    """Seconds for a fixed pure-Python workload on this machine.
+
+    ``scripts/check_bench_regression.py`` divides wall times by this
+    to compare runs across differently-powered machines.
+    """
+    started = perf_counter()
+    total = 0
+    for i in range(1_000_000):
+        total += i % 7
+    assert total > 0
+    return perf_counter() - started
 
 INDUSTRIAL_SHAPE = SchemaShape(
     entity_types=90,
@@ -55,6 +78,16 @@ def test_industrial_mapping(benchmark, industrial_schema):
     # depends on their pretty-printer and schema width (unknowable).
     assert 0.5 <= pages_per_table <= 1.5
 
+    # One explicitly timed guarded run for the JSON record (the
+    # pytest-benchmark timings are unavailable under
+    # --benchmark-disable, which is how CI runs this).
+    started = perf_counter()
+    map_schema(
+        industrial_schema,
+        MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    )
+    guarded_wall_s = perf_counter() - started
+
     stats = result.relational.stats()
     emit(
         "§5 — industrial-scale statistics (paper: 120-150 tables, "
@@ -68,7 +101,20 @@ def test_industrial_mapping(benchmark, industrial_schema):
             f"(FK {stats['foreign_keys']}, CHECK {stats['checks']}, "
             f"views {stats['view_constraints']}) "
             f"+ {len(result.pseudo_constraints)} pseudo",
+            f"guarded map_schema: {guarded_wall_s:.3f}s "
+            f"(pre-index baseline {PRE_INDEX_GUARDED_WALL_S:.3f}s, "
+            f"{PRE_INDEX_GUARDED_WALL_S / guarded_wall_s:.1f}x)",
         ],
+        data={
+            "tables": table_count,
+            "ddl_lines": lines,
+            "pages_per_table": round(pages_per_table, 3),
+            "constraints": stats["constraints"],
+            "pseudo_constraints": len(result.pseudo_constraints),
+            "guarded_map_schema_wall_s": round(guarded_wall_s, 4),
+            "pre_index_guarded_map_schema_wall_s": PRE_INDEX_GUARDED_WALL_S,
+            "calibration_s": round(calibration_time(), 4),
+        },
     )
 
 

@@ -4,11 +4,28 @@ Every benchmark regenerates one of the paper's artifacts (figure,
 listing or reported statistic) and asserts its *shape* — who wins, by
 what rough factor, what the generated output contains — while
 pytest-benchmark measures the runtime of the reproduced step.
+
+Besides printing, :func:`emit` appends each block to a
+machine-readable ``BENCH_<module>.json`` at the repo root (one file
+per benchmark module, rewritten per run) so the performance
+trajectory is tracked across PRs; CI uploads them as artifacts and
+``scripts/check_bench_regression.py`` gates on the committed
+``BENCH_industrial_scale.json`` baseline.
 """
+
+import inspect
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.cris import cris_schema, figure6_population, figure6_schema
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Blocks accumulated this run, keyed by benchmark name; each emit
+# rewrites the file so partial runs still leave valid JSON behind.
+_JSON_BLOCKS: dict[str, list] = {}
 
 
 @pytest.fixture(scope="session")
@@ -26,9 +43,32 @@ def cris():
     return cris_schema()
 
 
-def emit(title: str, rows: list[str]) -> None:
-    """Print one reproduced artifact block (visible with pytest -s)."""
+def emit(
+    title: str,
+    rows: list[str],
+    data: dict | None = None,
+    name: str | None = None,
+) -> None:
+    """Print one reproduced artifact block (visible with pytest -s)
+    and record it in ``BENCH_<name>.json`` at the repo root.
+
+    ``name`` defaults to the calling benchmark module's stem without
+    the ``bench_`` prefix; ``data`` carries machine-readable timings
+    and asserted statistics alongside the human-readable ``rows``.
+    """
     print()
     print(f"### {title}")
     for row in rows:
         print(f"    {row}")
+    if name is None:
+        stem = Path(inspect.stack()[1].filename).stem
+        name = stem.removeprefix("bench_")
+    block: dict = {"title": title, "rows": list(rows)}
+    if data:
+        block["data"] = data
+    blocks = _JSON_BLOCKS.setdefault(name, [])
+    blocks.append(block)
+    path = _REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps({"name": name, "blocks": blocks}, indent=2) + "\n"
+    )

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Gate on the committed industrial-scale benchmark baseline.
+
+Compares a freshly produced ``BENCH_industrial_scale.json`` against
+the committed baseline and fails (exit 1) when the guarded
+``map_schema`` wall time regressed by more than the threshold.
+
+Raw wall times are not comparable across differently-powered
+machines, so both runs carry a ``calibration_s`` figure (a fixed
+pure-Python workload timed in the same process) and the gate compares
+the *calibrated* ratio ``wall / calibration``.  When either file or
+either figure is missing the gate skips (exit 0) — a missing baseline
+is the bootstrap case, not a failure.
+
+Usage:
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_industrial_scale.json \
+        --current /tmp/BENCH_industrial_scale.json \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+WALL_KEY = "guarded_map_schema_wall_s"
+CALIBRATION_KEY = "calibration_s"
+
+
+def _load_metrics(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    for block in payload.get("blocks", ()):
+        data = block.get("data", {})
+        if WALL_KEY in data and CALIBRATION_KEY in data:
+            return data
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum allowed fractional regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_metrics(args.baseline)
+    current = _load_metrics(args.current)
+    if baseline is None:
+        print(f"no usable baseline at {args.baseline}; skipping gate")
+        return 0
+    if current is None:
+        print(f"no usable current run at {args.current}; skipping gate")
+        return 0
+
+    baseline_score = baseline[WALL_KEY] / baseline[CALIBRATION_KEY]
+    current_score = current[WALL_KEY] / current[CALIBRATION_KEY]
+    regression = current_score / baseline_score - 1.0
+    print(
+        f"baseline: {baseline[WALL_KEY]:.3f}s wall / "
+        f"{baseline[CALIBRATION_KEY]:.4f}s calibration = "
+        f"{baseline_score:.2f}"
+    )
+    print(
+        f"current:  {current[WALL_KEY]:.3f}s wall / "
+        f"{current[CALIBRATION_KEY]:.4f}s calibration = "
+        f"{current_score:.2f}"
+    )
+    print(f"calibrated change: {regression:+.1%} (threshold +{args.threshold:.0%})")
+    if regression > args.threshold:
+        print("FAIL: bench_industrial_scale regressed past the threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ RIDL-M calls :func:`require_mappable` before mapping.
 
 from __future__ import annotations
 
+from repro.analyzer.cache import memoized_on_schema_version
 from repro.analyzer.completeness import check_completeness
 from repro.analyzer.consistency import check_consistency
 from repro.analyzer.correctness import check_correctness
@@ -16,8 +17,15 @@ from repro.brm.schema import BinarySchema
 from repro.errors import AnalysisError
 
 
+@memoized_on_schema_version()
 def analyze(schema: BinarySchema) -> AnalysisReport:
-    """Run all four RIDL-A functions over a binary schema."""
+    """Run all four RIDL-A functions over a binary schema.
+
+    Results are memoized on the schema's ``(name, version)`` stamp;
+    the returned report is shared between callers and must be treated
+    as read-only.  Use ``analyze.uncached(schema)`` to force a fresh
+    run.
+    """
     return AnalysisReport(
         schema_name=schema.name,
         correctness=check_correctness(schema),

@@ -1,0 +1,72 @@
+"""Version-stamped memoization for whole-schema analysis.
+
+The RIDL-A functions are pure functions of the schema's element sets,
+and :class:`~repro.brm.schema.BinarySchema` version stamps are
+globally unique per mutation event — equal stamps imply equal
+elements (copies share the stamp, every mutation takes a fresh one).
+A bounded LRU keyed by ``(schema name, version)`` therefore makes
+re-analysis of an untouched schema (or of any of its copies) an O(1)
+dictionary hit, which is what the per-step guards and the analyzer
+gate of ``map_schema`` lean on.
+
+The caches hold *shared* result objects: treat cached reports and
+graphs as read-only, exactly like the schema elements themselves.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from functools import wraps
+from typing import TypeVar
+
+T = TypeVar("T")
+
+#: All caches created by :func:`memoized_on_schema_version`, so tests
+#: (and long-running services) can drop every memo at once.
+_REGISTRY: list["OrderedDict"] = []
+
+DEFAULT_MAXSIZE = 64
+
+
+def memoized_on_schema_version(
+    maxsize: int = DEFAULT_MAXSIZE,
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Memoize a ``fn(schema)`` on the schema's ``(name, version)``.
+
+    The wrapped function keeps the original callable as
+    ``fn.uncached`` (for callers that must bypass the memo, e.g. the
+    guards when they suspect an API-bypassing corruption) and gains a
+    ``cache_clear()`` like :func:`functools.lru_cache`.
+    """
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        cache: OrderedDict[tuple[str, int], T] = OrderedDict()
+        _REGISTRY.append(cache)
+
+        @wraps(fn)
+        def wrapper(schema) -> T:
+            key = (schema.name, schema.version)
+            try:
+                value = cache[key]
+            except KeyError:
+                value = fn(schema)
+                cache[key] = value
+                if len(cache) > maxsize:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(key)
+            return value
+
+        wrapper.uncached = fn
+        wrapper.cache_clear = cache.clear
+        wrapper.cache = cache
+        return wrapper
+
+    return decorate
+
+
+def clear_all_caches() -> None:
+    """Drop every version-stamped analysis memo."""
+    for cache in _REGISTRY:
+        cache.clear()

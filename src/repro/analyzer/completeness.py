@@ -10,7 +10,7 @@ schema.
 from __future__ import annotations
 
 from repro.analyzer.diagnostics import Diagnostic, Severity
-from repro.brm.constraints import UniquenessConstraint
+from repro.brm.indexes import indexes_for
 from repro.brm.schema import BinarySchema
 
 
@@ -67,11 +67,7 @@ def _check_fact_uniqueness(schema: BinarySchema) -> list[Diagnostic]:
     type always has a uniqueness constraint over one role or over the
     pair).
     """
-    covered: set[str] = set()
-    for constraint in schema.constraints:
-        if isinstance(constraint, UniquenessConstraint):
-            for role_id in constraint.roles:
-                covered.add(role_id.fact)
+    covered = indexes_for(schema).facts_with_uniqueness
     diagnostics = []
     for fact in schema.fact_types:
         if fact.name not in covered:

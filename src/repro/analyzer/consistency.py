@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.analyzer.cache import memoized_on_schema_version
 from repro.analyzer.diagnostics import Diagnostic, Severity
 from repro.brm.constraints import (
     ConstraintItem,
@@ -84,8 +85,18 @@ class ConsistencyResult:
         return not any(node[0] == "type" for node in self.forced_empty)
 
 
-class _InclusionGraph:
-    """The population-inclusion preorder and emptiness implications."""
+class SubsetGraph:
+    """The population-inclusion preorder and emptiness implications.
+
+    After building the raw edge sets the graph is condensed into its
+    strongly-connected components (equality constraints and mutual
+    subsets collapse into one component) and per-component
+    reachability bitmasks are precomputed, so :meth:`reaches` is an
+    O(1) bit test and :meth:`lower_bounds` a cached mask expansion
+    instead of a BFS per call.  Instances are immutable once built,
+    which is what lets :func:`subset_graph_for` share them across
+    repeated analyses of the same schema version.
+    """
 
     def __init__(self, schema: BinarySchema) -> None:
         self.schema = schema
@@ -94,6 +105,7 @@ class _InclusionGraph:
         # empties[y] = set of x with: empty(y) implies empty(x)
         self.empties: dict[Node, set[Node]] = {}
         self._build()
+        self._condense()
 
     def _add_subset(self, sub: Node, sup: Node) -> None:
         self.subset.setdefault(sub, set()).add(sup)
@@ -137,42 +149,136 @@ class _InclusionGraph:
                         _item_node(constraint.items[0]),
                     )
 
+    def _condense(self) -> None:
+        """SCC-condense the subset edges and precompute reachability.
+
+        Tarjan's algorithm (iterative, the schemas are deep enough to
+        overflow Python's recursion limit) emits components in reverse
+        topological order of the condensation: when a component
+        completes, every component it can reach already has its mask,
+        so ``reach_mask[c]`` is its own bit OR-ed with the masks of
+        its successor components.  ``pred_mask`` is the transpose.
+        """
+        nodes: set[Node] = set(self.empties)
+        for sub, sups in self.subset.items():
+            nodes.add(sub)
+            nodes.update(sups)
+        for effects in self.empties.values():
+            nodes.update(effects)
+
+        index_of: dict[Node, int] = {}
+        lowlink: dict[Node, int] = {}
+        on_stack: set[Node] = set()
+        stack: list[Node] = []
+        comp_of: dict[Node, int] = {}
+        members: list[tuple[Node, ...]] = []
+        reach_mask: list[int] = []
+        counter = itertools.count()
+
+        for root in nodes:
+            if root in index_of:
+                continue
+            # Each frame is (node, iterator over its successors).
+            work = [(root, iter(self.subset.get(root, ())))]
+            index_of[root] = lowlink[root] = next(counter)
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, successors = work[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in index_of:
+                        index_of[successor] = lowlink[successor] = next(counter)
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        work.append(
+                            (successor, iter(self.subset.get(successor, ())))
+                        )
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[node] = min(lowlink[node], index_of[successor])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index_of[node]:
+                    comp = len(members)
+                    component: list[Node] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp_of[member] = comp
+                        component.append(member)
+                        if member == node:
+                            break
+                    mask = 1 << comp
+                    for member in component:
+                        for successor in self.subset.get(member, ()):
+                            succ_comp = comp_of.get(successor)
+                            if succ_comp is not None and succ_comp != comp:
+                                mask |= reach_mask[succ_comp]
+                    members.append(tuple(component))
+                    reach_mask.append(mask)
+
+        pred_mask = [1 << comp for comp in range(len(members))]
+        for comp, mask in enumerate(reach_mask):
+            bit = 1 << comp
+            target = mask & ~bit
+            while target:
+                low = target & -target
+                pred_mask[low.bit_length() - 1] |= bit
+                target ^= low
+
+        self._comp_of = comp_of
+        self._members = members
+        self._reach_mask = reach_mask
+        self._pred_mask = pred_mask
+        self._lower_bound_cache: dict[int, frozenset[Node]] = {}
+
     def reaches(self, start: Node, goal: Node) -> bool:
         """True when pop(start) <= pop(goal) follows from the schema."""
         if start == goal:
             return True
-        seen = {start}
-        frontier = [start]
-        while frontier:
-            node = frontier.pop()
-            for successor in self.subset.get(node, ()):
-                if successor == goal:
-                    return True
-                if successor not in seen:
-                    seen.add(successor)
-                    frontier.append(successor)
-        return False
+        start_comp = self._comp_of.get(start)
+        goal_comp = self._comp_of.get(goal)
+        if start_comp is None or goal_comp is None:
+            return False
+        return bool(self._reach_mask[start_comp] >> goal_comp & 1)
 
-    def lower_bounds(self, node: Node) -> set[Node]:
+    def lower_bounds(self, node: Node) -> frozenset[Node]:
         """All nodes whose population is included in ``node``'s."""
-        bounds = {node}
-        frontier = [node]
-        reverse: dict[Node, set[Node]] = {}
-        for sub, sups in self.subset.items():
-            for sup in sups:
-                reverse.setdefault(sup, set()).add(sub)
-        while frontier:
-            current = frontier.pop()
-            for predecessor in reverse.get(current, ()):
-                if predecessor not in bounds:
-                    bounds.add(predecessor)
-                    frontier.append(predecessor)
-        return bounds
+        comp = self._comp_of.get(node)
+        if comp is None:
+            return frozenset((node,))
+        cached = self._lower_bound_cache.get(comp)
+        if cached is None:
+            bounds: set[Node] = set()
+            mask = self._pred_mask[comp]
+            while mask:
+                low = mask & -mask
+                bounds.update(self._members[low.bit_length() - 1])
+                mask ^= low
+            cached = frozenset(bounds)
+            self._lower_bound_cache[comp] = cached
+        return cached
+
+
+# Backwards-compatible alias for the pre-condensation class name.
+_InclusionGraph = SubsetGraph
+
+
+@memoized_on_schema_version()
+def subset_graph_for(schema: BinarySchema) -> SubsetGraph:
+    """The (shared, read-only) subset graph for this schema version."""
+    return SubsetGraph(schema)
 
 
 def check_consistency(schema: BinarySchema) -> ConsistencyResult:
     """Run the emptiness-propagation solver over the schema."""
-    graph = _InclusionGraph(schema)
+    graph = subset_graph_for(schema)
     forced_empty: dict[Node, str] = {}
     worklist: list[Node] = []
 

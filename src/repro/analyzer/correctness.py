@@ -10,6 +10,7 @@ and external uniqueness constraints must converge on a common player.
 
 from __future__ import annotations
 
+from repro.analyzer.cache import memoized_on_schema_version
 from repro.analyzer.diagnostics import Diagnostic, Severity
 from repro.brm.constraints import (
     ConstraintItem,
@@ -23,8 +24,16 @@ from repro.brm.facts import RoleId
 from repro.brm.schema import BinarySchema
 
 
+@memoized_on_schema_version()
 def check_correctness(schema: BinarySchema) -> list[Diagnostic]:
-    """All correctness findings for the schema."""
+    """All correctness findings for the schema.
+
+    Memoized on the schema's ``(name, version)`` stamp — the per-step
+    guards hit this after every rule firing, and most firings leave
+    the schema untouched.  ``check_correctness.uncached(schema)``
+    bypasses the memo (the guards use it when they suspect the schema
+    was corrupted without a version bump).
+    """
     diagnostics: list[Diagnostic] = []
     diagnostics.extend(_check_lexical_facts(schema))
     diagnostics.extend(_check_item_compatibility(schema))

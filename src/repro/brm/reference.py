@@ -141,10 +141,10 @@ def _simple_schemes(schema: BinarySchema, type_name: str) -> list[ReferenceSchem
 
 
 def _compound_schemes(schema: BinarySchema, type_name: str) -> list[ReferenceScheme]:
+    from repro.brm.indexes import indexes_for
+
     schemes = []
-    for constraint in schema.uniqueness_constraints():
-        if not constraint.is_external:
-            continue
+    for constraint in indexes_for(schema).external_uniqueness:
         components = []
         for far_id in constraint.roles:
             fact = schema.fact_type(far_id.fact)

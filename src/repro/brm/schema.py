@@ -10,10 +10,19 @@ enforced by RIDL-G as the schema is constructed", section 3.2).
 
 Deep semantic checks (completeness, constraint consistency,
 referability) live in :mod:`repro.analyzer`.
+
+Every mutation bumps the schema's **version stamp** to a globally
+fresh value (see :data:`_VERSION_COUNTER`), so equal stamps imply
+equal element sets; the navigation queries are answered from the
+version-cached indexes of :mod:`repro.brm.indexes`, and downstream
+consumers (the analyzer memos, the per-step guards of
+:mod:`repro.robustness.guards`) use the stamp for O(1) change
+detection instead of structural diffs.
 """
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Iterable, Iterator
 
 from repro.brm.constraints import (
@@ -28,6 +37,7 @@ from repro.brm.constraints import (
     items_of,
 )
 from repro.brm.facts import FactType, Role, RoleId
+from repro.brm.indexes import indexes_for
 from repro.brm.objects import ObjectKind, ObjectType
 from repro.brm.sublinks import SublinkRef, SublinkType
 from repro.errors import (
@@ -36,6 +46,13 @@ from repro.errors import (
     SchemaError,
     UnknownElementError,
 )
+
+#: Global monotonic source of version stamps.  Stamps are unique per
+#: mutation event across *all* schemas, so two schemas carry the same
+#: stamp only when one is a :meth:`BinarySchema.copy` of the other
+#: (or of a common original) and neither was mutated since — which
+#: makes "equal stamps" a sound O(1) proxy for "equal element sets".
+_VERSION_COUNTER = itertools.count(1)
 
 
 class BinarySchema:
@@ -49,6 +66,22 @@ class BinarySchema:
         self._fact_types: dict[str, FactType] = {}
         self._sublinks: dict[str, SublinkType] = {}
         self._constraints: dict[str, Constraint] = {}
+        self._version: int = next(_VERSION_COUNTER)
+        # One-element cell holding (version, SchemaIndexes) or None.
+        # copy() shares the cell, so a schema and its copies converge
+        # on one index object for as long as they stay at the same
+        # version; _bump() detaches into a fresh cell so a diverging
+        # mutation never clobbers the entry its copies still use.
+        self._index_cache: list = [None]
+
+    @property
+    def version(self) -> int:
+        """The schema's version stamp; bumped by every mutation."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version = next(_VERSION_COUNTER)
+        self._index_cache = [None]
 
     # ------------------------------------------------------------------
     # Element addition / removal
@@ -59,6 +92,7 @@ class BinarySchema:
         if object_type.name in self._object_types:
             raise DuplicateNameError("object type", object_type.name)
         self._object_types[object_type.name] = object_type
+        self._bump()
         return object_type
 
     def add_fact_type(self, fact_type: FactType) -> FactType:
@@ -69,6 +103,7 @@ class BinarySchema:
             if role.player not in self._object_types:
                 raise UnknownElementError("object type", role.player)
         self._fact_types[fact_type.name] = fact_type
+        self._bump()
         return fact_type
 
     def add_sublink(self, sublink: SublinkType) -> SublinkType:
@@ -96,6 +131,7 @@ class BinarySchema:
         if sublink.supertype == sublink.subtype:
             raise SchemaError(f"sublink {sublink.name!r} is reflexive")
         self._sublinks[sublink.name] = sublink
+        self._bump()
         return sublink
 
     def add_constraint(self, constraint: Constraint) -> Constraint:
@@ -116,6 +152,7 @@ class BinarySchema:
                     "lexical object type"
                 )
         self._constraints[constraint.name] = constraint
+        self._bump()
         return constraint
 
     def _check_item(self, constraint_name: str, item: ConstraintItem) -> None:
@@ -183,6 +220,7 @@ class BinarySchema:
                     f"{constraint.name!r}"
                 )
         del self._object_types[name]
+        self._bump()
 
     def remove_fact_type(self, name: str) -> None:
         """Remove a fact type together with nothing — constraints on its
@@ -199,6 +237,7 @@ class BinarySchema:
                     f"{constraint.name!r}"
                 )
         del self._fact_types[name]
+        self._bump()
 
     def remove_sublink(self, name: str) -> None:
         """Remove a sublink type; constraints over it must be gone first."""
@@ -214,12 +253,14 @@ class BinarySchema:
                     f"{constraint.name!r}"
                 )
         del self._sublinks[name]
+        self._bump()
 
     def remove_constraint(self, name: str) -> None:
         """Remove a constraint by name."""
         if name not in self._constraints:
             raise UnknownElementError("constraint", name)
         del self._constraints[name]
+        self._bump()
 
     # ------------------------------------------------------------------
     # Lookups
@@ -326,19 +367,12 @@ class BinarySchema:
     def roles_played_by(self, type_name: str) -> list[RoleId]:
         """All roles played by the named object type (both roles for rings)."""
         self._require_object_type(type_name)
-        played = []
-        for fact in self._fact_types.values():
-            for role in fact.roles:
-                if role.player == type_name:
-                    played.append(RoleId(fact.name, role.name))
-        return played
+        return list(indexes_for(self).roles_by_player.get(type_name, ()))
 
     def facts_involving(self, type_name: str) -> list[FactType]:
         """All fact types in which the named object type plays a role."""
         self._require_object_type(type_name)
-        return [
-            fact for fact in self._fact_types.values() if type_name in fact.players
-        ]
+        return list(indexes_for(self).facts_by_player.get(type_name, ()))
 
     # ------------------------------------------------------------------
     # Subtype navigation
@@ -346,11 +380,11 @@ class BinarySchema:
 
     def sublinks_from(self, subtype: str) -> list[SublinkType]:
         """All sublinks whose subtype end is the named type."""
-        return [s for s in self._sublinks.values() if s.subtype == subtype]
+        return list(indexes_for(self).sublinks_by_subtype.get(subtype, ()))
 
     def sublinks_to(self, supertype: str) -> list[SublinkType]:
         """All sublinks whose supertype end is the named type."""
-        return [s for s in self._sublinks.values() if s.supertype == supertype]
+        return list(indexes_for(self).sublinks_by_supertype.get(supertype, ()))
 
     def supertypes_of(self, name: str) -> set[str]:
         """Direct supertypes of the named type."""
@@ -362,34 +396,15 @@ class BinarySchema:
 
     def ancestors_of(self, name: str) -> set[str]:
         """All (transitive) supertypes of the named type."""
-        seen: set[str] = set()
-        frontier = [name]
-        while frontier:
-            current = frontier.pop()
-            for supertype in self.supertypes_of(current):
-                if supertype not in seen:
-                    seen.add(supertype)
-                    frontier.append(supertype)
-        return seen
+        return set(indexes_for(self).ancestors_of(name))
 
     def descendants_of(self, name: str) -> set[str]:
         """All (transitive) subtypes of the named type."""
-        seen: set[str] = set()
-        frontier = [name]
-        while frontier:
-            current = frontier.pop()
-            for subtype in self.subtypes_of(current):
-                if subtype not in seen:
-                    seen.add(subtype)
-                    frontier.append(subtype)
-        return seen
+        return set(indexes_for(self).descendants_of(name))
 
     def root_supertypes_of(self, name: str) -> set[str]:
         """The maximal supertypes above the named type (itself if none)."""
-        ancestors = self.ancestors_of(name)
-        if not ancestors:
-            return {name}
-        return {a for a in ancestors if not self.supertypes_of(a)}
+        return set(indexes_for(self).root_supertypes_of(name))
 
     # ------------------------------------------------------------------
     # Constraint queries
@@ -397,17 +412,11 @@ class BinarySchema:
 
     def constraints_over(self, item: ConstraintItem) -> list[Constraint]:
         """All constraints one of whose items is ``item``."""
-        return [
-            c for c in self._constraints.values() if item in items_of(c)
-        ]
+        return list(indexes_for(self).constraints_by_item.get(item, ()))
 
     def uniqueness_constraints(self) -> list[UniquenessConstraint]:
         """All uniqueness constraints of the schema."""
-        return [
-            c
-            for c in self._constraints.values()
-            if isinstance(c, UniquenessConstraint)
-        ]
+        return list(indexes_for(self).of_kind(UniquenessConstraint))
 
     def is_unique(self, role_id: RoleId) -> bool:
         """True when a simple uniqueness constraint covers exactly this role.
@@ -416,19 +425,11 @@ class BinarySchema:
         player participates at most once, i.e. the fact type is
         functional from that player.
         """
-        return any(
-            c.is_simple and c.roles[0] == role_id
-            for c in self.uniqueness_constraints()
-        )
+        return role_id in indexes_for(self).simple_unique_roles
 
     def is_total(self, role_id: RoleId) -> bool:
         """True when a single-item total role constraint covers the role."""
-        return any(
-            isinstance(c, TotalUnionConstraint)
-            and c.is_total_role
-            and c.items[0] == role_id
-            for c in self._constraints.values()
-        )
+        return role_id in indexes_for(self).total_roles
 
     def is_mandatory(self, role_id: RoleId) -> bool:
         """Alias of :meth:`is_total` (the common NIAM phrasing)."""
@@ -440,77 +441,88 @@ class BinarySchema:
         These are the "functionally dependent roles" that the naive
         algorithm (section 4, step 1) groups into the type's relation.
         """
+        simple_unique = indexes_for(self).simple_unique_roles
         return [
             role_id
             for role_id in self.roles_played_by(type_name)
-            if self.is_unique(role_id)
+            if role_id in simple_unique
         ]
 
     def exclusions(self) -> list[ExclusionConstraint]:
         """All exclusion constraints."""
-        return [
-            c for c in self._constraints.values() if isinstance(c, ExclusionConstraint)
-        ]
+        return list(indexes_for(self).of_kind(ExclusionConstraint))
 
     def equalities(self) -> list[EqualityConstraint]:
         """All equality constraints."""
-        return [
-            c for c in self._constraints.values() if isinstance(c, EqualityConstraint)
-        ]
+        return list(indexes_for(self).of_kind(EqualityConstraint))
 
     def subsets(self) -> list[SubsetConstraint]:
         """All subset constraints."""
-        return [
-            c for c in self._constraints.values() if isinstance(c, SubsetConstraint)
-        ]
+        return list(indexes_for(self).of_kind(SubsetConstraint))
 
     def totals(self) -> list[TotalUnionConstraint]:
         """All total role / total union constraints."""
-        return [
-            c
-            for c in self._constraints.values()
-            if isinstance(c, TotalUnionConstraint)
-        ]
+        return list(indexes_for(self).of_kind(TotalUnionConstraint))
 
     def total_constraints_on(self, type_name: str) -> list[TotalUnionConstraint]:
         """Total constraints whose constrained object type is ``type_name``."""
-        return [c for c in self.totals() if c.object_type == type_name]
+        return list(
+            indexes_for(self).totals_by_object_type.get(type_name, ())
+        )
 
     def value_constraint_on(self, type_name: str) -> ValueConstraint | None:
         """The value constraint on a lexical type, if any."""
-        for constraint in self._constraints.values():
-            if (
-                isinstance(constraint, ValueConstraint)
-                and constraint.object_type == type_name
-            ):
-                return constraint
-        return None
+        return indexes_for(self).value_constraint_by_type.get(type_name)
 
     # ------------------------------------------------------------------
     # Whole-schema operations
     # ------------------------------------------------------------------
 
     def copy(self, name: str | None = None) -> "BinarySchema":
-        """An independent copy (elements are immutable, so this is cheap)."""
+        """An independent copy (elements are immutable, so this is cheap).
+
+        The copy inherits the version stamp — its elements are equal
+        by construction — and shares the cached indexes, so copying
+        never invalidates or rebuilds anything.
+        """
         duplicate = BinarySchema(name or self.name)
         duplicate._object_types = dict(self._object_types)
         duplicate._fact_types = dict(self._fact_types)
         duplicate._sublinks = dict(self._sublinks)
         duplicate._constraints = dict(self._constraints)
+        duplicate._version = self._version
+        duplicate._index_cache = self._index_cache
         return duplicate
 
     def same_elements(self, other: "BinarySchema") -> bool:
         """True when both schemas hold equal element sets.
 
-        Fast when the elements are shared objects, as between a schema
-        and its :meth:`copy` — the step guards use this to skip
-        re-analysis after a transformation that left the schema alone.
+        O(1) for a schema and its untouched :meth:`copy` — equal
+        version stamps guarantee equal elements; only diverged stamps
+        fall back to the structural comparison.
         """
+        if self._version == other._version:
+            return True
         return (
             self._object_types == other._object_types
             and self._fact_types == other._fact_types
             and self._sublinks == other._sublinks
             and self._constraints == other._constraints
+        )
+
+    def element_counts(self) -> tuple[int, int, int, int]:
+        """O(1) census of the four element populations.
+
+        The per-step guards pair this with the version stamp: a
+        corrupting rule that bypasses the mutator API (editing the
+        element dicts directly) leaves the stamp stale, but cannot
+        usually do damage without changing some population size.
+        """
+        return (
+            len(self._object_types),
+            len(self._fact_types),
+            len(self._sublinks),
+            len(self._constraints),
         )
 
     def fresh_name(self, stem: str, taken: Iterable[str] = ()) -> str:

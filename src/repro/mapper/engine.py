@@ -20,8 +20,6 @@ and failed optional phases and reports the degradation.
 
 from __future__ import annotations
 
-import copy
-
 from repro.analyzer.api import analyze
 from repro.brm.schema import BinarySchema
 from repro.errors import AnalysisError
@@ -98,7 +96,11 @@ def map_schema(
         if mode is not RecoveryMode.BEST_EFFORT:
             return run_phase(name, fn)
         entry = state.snapshot()
-        backup = copy.deepcopy(fallback)
+        # A cheap shallow restore point instead of deepcopy: the copy
+        # cannot be deferred into the except path because the option
+        # phases mutate the plan's dicts in place and may raise
+        # mid-loop, after some entries were already replaced.
+        backup = fallback.snapshot()
         try:
             return run_phase(name, fn)
         except Exception as exc:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.brm.facts import FactType, RoleId
+from repro.brm.indexes import indexes_for
 from repro.brm.reference import LexicalLeaf, ReferenceResolver
 from repro.brm.schema import BinarySchema
 from repro.errors import MappingError, NotReferableError
@@ -110,6 +111,31 @@ class MappingPlan:
     def plan_for(self, relation: str) -> RelationPlan:
         """The relation plan by name."""
         return self.plans[relation]
+
+    def snapshot(self) -> "MappingPlan":
+        """A cheap restore point for the relational-option phases.
+
+        The option phases (:mod:`repro.mapper.relational_relational`)
+        mutate the plan by *replacing* entries in these dicts with
+        freshly built immutable values, never by mutating a stored
+        ``RelationPlan``/``RoleLocation`` in place — so copying the
+        dicts (and the canonical schema, which combine may extend
+        with lossless-rule constraints) is a full restore point at a
+        fraction of a ``deepcopy``'s cost.  The resolver is shared:
+        it memoizes pure reference lookups.
+        """
+        return MappingPlan(
+            schema=self.schema.copy(),
+            resolver=self.resolver,
+            options=self.options,
+            plans=dict(self.plans),
+            anchor_of=dict(self.anchor_of),
+            role_locations=dict(self.role_locations),
+            sublink_reprs=dict(self.sublink_reprs),
+            disjunctive=dict(self.disjunctive),
+            reference_facts=dict(self.reference_facts),
+            placed_owner=dict(self.placed_owner),
+        )
 
 
 # ----------------------------------------------------------------------
@@ -499,10 +525,7 @@ def _add_fact_columns(
     far_role = fact.co_role(near_id.role)
     far_id = RoleId(fact.name, far_role.name)
     total = schema.is_total(near_id)
-    is_reference_fact = any(
-        c.is_reference and c.is_simple and c.roles[0] == near_id
-        for c in schema.uniqueness_constraints()
-    )
+    is_reference_fact = near_id in indexes_for(schema).reference_roles
 
     policy = plan.options.null_policy
     unique_far = schema.is_unique(far_id)

@@ -37,6 +37,7 @@ from repro.brm.constraints import (
 )
 from repro.brm.datatypes import char
 from repro.brm.facts import FactType, Role, RoleId
+from repro.brm.indexes import indexes_for
 from repro.brm.objects import lot
 from repro.brm.population import Population
 from repro.brm.schema import BinarySchema
@@ -152,11 +153,7 @@ def canonicalize_constraints(state: MappingState) -> None:
         else:
             seen[signature] = constraint.name
 
-    simple_unique_roles = {
-        c.roles[0]
-        for c in schema.uniqueness_constraints()
-        if c.is_simple
-    }
+    simple_unique_roles = indexes_for(schema).simple_unique_roles
     already = {name for name, _ in removed}
     for constraint in schema.uniqueness_constraints():
         if constraint.is_simple or constraint.name in already:
@@ -404,14 +401,10 @@ def _preferred_anchor(
     """The representative total role: the reference fact if possible."""
     if not anchors:
         return None
+    reference_roles = indexes_for(schema).reference_roles
     for role in anchors:
-        for constraint in schema.uniqueness_constraints():
-            if (
-                constraint.is_reference
-                and constraint.is_simple
-                and constraint.roles[0] == role
-            ):
-                return role
+        if role in reference_roles:
+            return role
     return anchors[0]
 
 

@@ -81,15 +81,31 @@ def check_state_invariants(
             f"{len(state.forward_maps)} forward vs "
             f"{len(state.backward_maps)} backward maps"
         )
-    schema_changed = before is None or not state.schema.same_elements(
-        before.schema
-    )
+    # O(1) change detection: the snapshot's schema copy shares the
+    # version stamp, so a stamp mismatch means some mutator ran.  A
+    # matching stamp with diverging element counts means the step
+    # bypassed the mutator API (corruption) — the schema changed *and*
+    # the version-keyed analysis memos cannot be trusted for it.
+    if before is None:
+        schema_changed, stamp_stale = True, False
+    else:
+        stamp_stale = (
+            state.schema.version == before.schema.version
+            and state.schema.element_counts()
+            != before.schema.element_counts()
+        )
+        schema_changed = (
+            state.schema.version != before.schema.version or stamp_stale
+        )
     if schema_changed:
+        correctness = (
+            check_correctness.uncached if stamp_stale else check_correctness
+        )
         try:
             violations.extend(_structural_violations(state.schema))
             errors = [
                 d
-                for d in check_correctness(state.schema)
+                for d in correctness(state.schema)
                 if d.severity is Severity.ERROR
             ]
         except Exception as exc:  # a corrupted schema may not analyze
