@@ -43,6 +43,27 @@ def cris():
     return cris_schema()
 
 
+#: Decimal places kept for floats in the emitted JSON.  Raw
+#: ``perf_counter`` deltas differ in their last bits on every run;
+#: fixed precision keeps ``scripts/check_bench_regression.py`` diffs
+#: (and committed-baseline diffs) stable across runs.
+FLOAT_PRECISION = 4
+
+
+def _stable(value):
+    """Normalize a JSON payload: fixed float precision, recursively,
+    so two runs producing the same measurements emit the same bytes."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return round(value, FLOAT_PRECISION)
+    if isinstance(value, dict):
+        return {str(key): _stable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_stable(item) for item in value]
+    return value
+
+
 def emit(
     title: str,
     rows: list[str],
@@ -55,6 +76,9 @@ def emit(
     ``name`` defaults to the calling benchmark module's stem without
     the ``bench_`` prefix; ``data`` carries machine-readable timings
     and asserted statistics alongside the human-readable ``rows``.
+    The JSON is written deterministically — sorted keys, floats at
+    :data:`FLOAT_PRECISION` decimals — so reruns with identical
+    measurements produce identical bytes.
     """
     print()
     print(f"### {title}")
@@ -65,10 +89,13 @@ def emit(
         name = stem.removeprefix("bench_")
     block: dict = {"title": title, "rows": list(rows)}
     if data:
-        block["data"] = data
+        block["data"] = _stable(data)
     blocks = _JSON_BLOCKS.setdefault(name, [])
     blocks.append(block)
     path = _REPO_ROOT / f"BENCH_{name}.json"
     path.write_text(
-        json.dumps({"name": name, "blocks": blocks}, indent=2) + "\n"
+        json.dumps(
+            {"name": name, "blocks": blocks}, indent=2, sort_keys=True
+        )
+        + "\n"
     )

@@ -1,9 +1,14 @@
 #!/usr/bin/env python
-"""Gate on the committed industrial-scale benchmark baseline.
+"""Gate on a committed benchmark baseline.
 
-Compares a freshly produced ``BENCH_industrial_scale.json`` against
-the committed baseline and fails (exit 1) when the guarded
-``map_schema`` wall time regressed by more than the threshold.
+Compares a freshly produced ``BENCH_*.json`` against the committed
+baseline and fails (exit 1) when the guarded wall time regressed by
+more than the threshold.  The wall-time key is configurable so the
+same gate covers every benchmark that records one:
+
+- ``BENCH_industrial_scale.json`` — ``guarded_map_schema_wall_s``
+  (the default)
+- ``BENCH_option_space.json`` — ``advisor_wall_s``
 
 Raw wall times are not comparable across differently-powered
 machines, so both runs carry a ``calibration_s`` figure (a fixed
@@ -16,7 +21,7 @@ Usage:
     python scripts/check_bench_regression.py \
         --baseline BENCH_industrial_scale.json \
         --current /tmp/BENCH_industrial_scale.json \
-        [--threshold 0.25]
+        [--wall-key guarded_map_schema_wall_s] [--threshold 0.25]
 """
 
 from __future__ import annotations
@@ -26,11 +31,11 @@ import json
 import sys
 from pathlib import Path
 
-WALL_KEY = "guarded_map_schema_wall_s"
+DEFAULT_WALL_KEY = "guarded_map_schema_wall_s"
 CALIBRATION_KEY = "calibration_s"
 
 
-def _load_metrics(path: Path) -> dict | None:
+def _load_metrics(path: Path, wall_key: str) -> dict | None:
     if not path.exists():
         return None
     try:
@@ -39,7 +44,7 @@ def _load_metrics(path: Path) -> dict | None:
         return None
     for block in payload.get("blocks", ()):
         data = block.get("data", {})
-        if WALL_KEY in data and CALIBRATION_KEY in data:
+        if wall_key in data and CALIBRATION_KEY in data:
             return data
     return None
 
@@ -49,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", type=Path, required=True)
     parser.add_argument("--current", type=Path, required=True)
     parser.add_argument(
+        "--wall-key",
+        default=DEFAULT_WALL_KEY,
+        help=f"data key holding the wall time (default {DEFAULT_WALL_KEY})",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.25,
@@ -56,8 +66,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = _load_metrics(args.baseline)
-    current = _load_metrics(args.current)
+    baseline = _load_metrics(args.baseline, args.wall_key)
+    current = _load_metrics(args.current, args.wall_key)
     if baseline is None:
         print(f"no usable baseline at {args.baseline}; skipping gate")
         return 0
@@ -65,22 +75,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no usable current run at {args.current}; skipping gate")
         return 0
 
-    baseline_score = baseline[WALL_KEY] / baseline[CALIBRATION_KEY]
-    current_score = current[WALL_KEY] / current[CALIBRATION_KEY]
+    baseline_score = baseline[args.wall_key] / baseline[CALIBRATION_KEY]
+    current_score = current[args.wall_key] / current[CALIBRATION_KEY]
     regression = current_score / baseline_score - 1.0
     print(
-        f"baseline: {baseline[WALL_KEY]:.3f}s wall / "
+        f"baseline: {baseline[args.wall_key]:.3f}s wall / "
         f"{baseline[CALIBRATION_KEY]:.4f}s calibration = "
         f"{baseline_score:.2f}"
     )
     print(
-        f"current:  {current[WALL_KEY]:.3f}s wall / "
+        f"current:  {current[args.wall_key]:.3f}s wall / "
         f"{current[CALIBRATION_KEY]:.4f}s calibration = "
         f"{current_score:.2f}"
     )
     print(f"calibrated change: {regression:+.1%} (threshold +{args.threshold:.0%})")
     if regression > args.threshold:
-        print("FAIL: bench_industrial_scale regressed past the threshold")
+        print(f"FAIL: {args.wall_key} regressed past the threshold")
         return 1
     print("OK")
     return 0

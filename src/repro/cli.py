@@ -33,9 +33,17 @@ from pathlib import Path
 from repro.analyzer import analyze
 from repro.dsl import parse
 from repro.errors import AnalysisError, MappingError, RidlError
-from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.mapper import (
+    MappingOptions,
+    NullPolicy,
+    SublinkPolicy,
+    advise,
+    discover_space,
+    map_schema,
+)
 from repro.notation import render_ascii, render_dot
 from repro.sql import PROFILES
+from repro.workloads.statistics import WorkloadProfile
 
 #: Exit codes, one per failure class (see the module docstring).
 EXIT_OK = 0
@@ -82,6 +90,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_option_arguments(report_cmd)
     report_cmd.add_argument(
         "--out", type=Path, required=True, help="output directory"
+    )
+
+    advise_cmd = commands.add_parser(
+        "advise",
+        help="explore the mapping-option lattice and rank the designs",
+    )
+    advise_cmd.add_argument("schema", type=Path)
+    advise_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size (default: one per CPU; 1 = serial)",
+    )
+    advise_cmd.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        metavar="K",
+        help="how many ranked candidates to print (default 5)",
+    )
+    advise_cmd.add_argument(
+        "--max-candidates",
+        type=int,
+        default=64,
+        metavar="M",
+        help="hard cap on the enumerated lattice (default 64)",
+    )
+    advise_cmd.add_argument(
+        "--nulls-axis",
+        default=None,
+        metavar="P1,P2,...",
+        help="null policies to explore (default: DEFAULT,"
+        "NOT_IN_KEYS,NOT_ALLOWED)",
+    )
+    advise_cmd.add_argument(
+        "--sublinks-axis",
+        default=None,
+        metavar="P1,P2,...",
+        help="global sublink policies to explore (default: all three)",
+    )
+    advise_cmd.add_argument(
+        "--per-sublink",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also vary the policy of up to N individual sublinks",
+    )
+    advise_cmd.add_argument(
+        "--combine-axis",
+        action="append",
+        default=[],
+        metavar="TARGET=SOURCE",
+        help="toggle combining SOURCE into TARGET (repeatable)",
+    )
+    advise_cmd.add_argument(
+        "--omit-axis",
+        action="append",
+        default=[],
+        metavar="TABLE",
+        help="toggle omitting TABLE (repeatable; disables probing)",
+    )
+    advise_cmd.add_argument(
+        "--rows",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="assumed instances per object type (default 10000)",
+    )
+    advise_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
     )
 
     show_cmd = commands.add_parser(
@@ -189,6 +271,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             for path in written:
                 print(path, file=out)
             return _finish_mapping(result, out)
+        if namespace.command == "advise":
+            return _run_advise(namespace, out)
         if namespace.command == "show":
             schema = _load(namespace.schema)
             renderer = render_dot if namespace.format == "dot" else render_ascii
@@ -209,6 +293,68 @@ def main(argv: list[str] | None = None, out=None) -> int:
     except BrokenPipeError:  # pragma: no cover - e.g. `| head`
         return EXIT_OK
     return EXIT_USAGE  # pragma: no cover - argparse enforces the commands
+
+
+def _policy_axis(text, choices, default):
+    if text is None:
+        return default
+    axis = []
+    for name in text.split(","):
+        name = name.strip()
+        if name not in choices:
+            raise RidlError(
+                f"unknown policy {name!r}; choose from "
+                f"{', '.join(sorted(choices))}"
+            )
+        axis.append(choices[name])
+    return tuple(axis)
+
+
+def _run_advise(namespace: argparse.Namespace, out) -> int:
+    """The ``advise`` subcommand: rank the option lattice's designs."""
+    from dataclasses import replace
+
+    schema = _load(namespace.schema)
+    space = discover_space(
+        schema,
+        null_policies=_policy_axis(
+            namespace.nulls_axis,
+            _NULL_CHOICES,
+            (NullPolicy.DEFAULT, NullPolicy.NOT_IN_KEYS, NullPolicy.NOT_ALLOWED),
+        ),
+        sublink_policies=_policy_axis(
+            namespace.sublinks_axis, _SUBLINK_CHOICES, tuple(SublinkPolicy)
+        ),
+        max_override_axes=namespace.per_sublink,
+        # Explicit omit axes replace the probed defaults.
+        max_omit_toggles=0 if namespace.omit_axis else 2,
+        max_candidates=namespace.max_candidates,
+    )
+    combines = []
+    for item in namespace.combine_axis:
+        target, sep, source = item.partition("=")
+        if not sep or not target or not source:
+            raise RidlError(
+                f"bad --combine-axis {item!r}; expected TARGET=SOURCE"
+            )
+        combines.append((target, source))
+    if combines or namespace.omit_axis:
+        space = replace(
+            space,
+            combine_toggles=space.combine_toggles + tuple(combines),
+            omit_toggles=space.omit_toggles + tuple(namespace.omit_axis),
+        )
+    report = advise(
+        schema,
+        space,
+        workers=namespace.workers,
+        profile=WorkloadProfile(default_instances=namespace.rows),
+    )
+    if namespace.format == "json":
+        out.write(report.to_json(namespace.top_k))
+    else:
+        print(report.render(namespace.top_k), file=out)
+    return EXIT_OK if report.winner is not None else EXIT_MAPPING
 
 
 def _finish_mapping(result, out) -> int:

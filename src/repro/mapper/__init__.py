@@ -6,7 +6,13 @@ control of a rule base and the database engineer's mapping options,
 together with lossless rules, DDL and the bidirectional map report.
 """
 
-from repro.mapper.engine import map_schema
+from repro.mapper.engine import (
+    MappingPrefix,
+    map_from_prefix,
+    map_prefix,
+    map_schema,
+    plan_from_prefix,
+)
 from repro.mapper.options import MappingOptions, NullPolicy, SublinkPolicy
 from repro.mapper.result import MappingResult
 from repro.mapper.rulebase import Rule, TransformationEngine, default_rule_base
@@ -15,22 +21,48 @@ from repro.mapper.state_map import RelationalStateMap, canonicalize_population
 from repro.mapper.synthesis import MappingPlan
 from repro.mapper.trace import AppliedStep, Provenance, PseudoConstraint
 from repro.mapper.translate import translate_state
+from repro.mapper.advisor import (
+    AdvisorReport,
+    CandidateOutcome,
+    CandidateScore,
+    ScoreWeights,
+    advise,
+    score_plan,
+)
+from repro.mapper.optionspace import (
+    OptionSpace,
+    discover_space,
+    enumerate_options,
+)
 
 __all__ = [
+    "AdvisorReport",
     "AppliedStep",
+    "CandidateOutcome",
+    "CandidateScore",
     "MappingOptions",
     "MappingPlan",
+    "MappingPrefix",
     "MappingResult",
     "MappingState",
     "NullPolicy",
+    "OptionSpace",
     "Provenance",
     "PseudoConstraint",
     "RelationalStateMap",
     "Rule",
+    "ScoreWeights",
     "SublinkPolicy",
     "TransformationEngine",
+    "advise",
     "canonicalize_population",
     "default_rule_base",
+    "discover_space",
+    "enumerate_options",
+    "map_from_prefix",
+    "map_prefix",
     "map_schema",
+    "plan_from_prefix",
+    "score_plan",
     "translate_state",
 ]

@@ -16,21 +16,36 @@ so a failed session resumes instead of restarting; and the
 recovery decision.  ``robustness="strict"`` (default) aborts on the
 first failure, ``robustness="best-effort"`` survives bad expert rules
 and failed optional phases and reports the degradation.
+
+The pipeline has a natural seam after plan synthesis: the binary
+phase and the synthesis depend only on the *prefix* fields of the
+options (null policy, sublink policies, lexical preferences, scope),
+while combines, omissions and materialization act on the finished
+plan.  :func:`map_prefix` runs the session up to that seam and
+returns a reusable :class:`MappingPrefix`; :func:`map_from_prefix`
+and :func:`plan_from_prefix` fork any number of combine/omit/
+materialize suffixes from it.  ``map_schema`` is the composition of
+the two halves, and the option advisor
+(:mod:`repro.mapper.advisor`) uses the seam to run each distinct
+prefix exactly once while exploring a whole option lattice.
 """
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
+
 from repro.analyzer.api import analyze
 from repro.brm.schema import BinarySchema
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, MappingError
 from repro.mapper.lossless import materialize
 from repro.mapper.options import MappingOptions, NullPolicy
 from repro.mapper.relational_relational import apply_combines, apply_omissions
 from repro.mapper.result import MappingResult
 from repro.mapper.rulebase import Rule, TransformationEngine
-from repro.mapper.state import MappingState
+from repro.mapper.state import MappingState, StateSnapshot
 from repro.mapper.state_map import RelationalStateMap
-from repro.mapper.synthesis import build_plan
+from repro.mapper.synthesis import MappingPlan, build_plan
 from repro.robustness import (
     CheckpointManager,
     GuardedExecutor,
@@ -39,6 +54,124 @@ from repro.robustness import (
     resolve_mode,
 )
 from repro.robustness.health import HealthReport
+
+
+class _PhaseRunner:
+    """Runs the named pipeline phases of one session.
+
+    Factors the phase bookkeeping — fault-injection points, health
+    records, optional checkpointing, and the best-effort rollback of
+    the mapping-option phases — out of the pipeline functions so the
+    full pipeline and the prefix/suffix halves share it exactly.
+    """
+
+    def __init__(
+        self,
+        state: MappingState,
+        mode: RecoveryMode,
+        health: HealthReport,
+        checkpoints: CheckpointManager | None,
+    ) -> None:
+        self.state = state
+        self.mode = mode
+        self.health = health
+        self.checkpoints = checkpoints
+
+    def run(self, name, fn):
+        if self.checkpoints is not None:
+            return self.checkpoints.run(name, self.state, fn, self.health)
+        faults.reach(f"phase:{name}", state=self.state)
+        value = fn()
+        self.health.completed_phases.append(name)
+        return value
+
+    def run_optional(self, name, fn, fallback):
+        """A mapping-option phase: best-effort sessions survive its
+        failure by rolling it back and continuing without it."""
+        if self.mode is not RecoveryMode.BEST_EFFORT:
+            return self.run(name, fn)
+        entry = self.state.snapshot()
+        # A cheap shallow restore point instead of deepcopy: the copy
+        # cannot be deferred into the except path because the option
+        # phases mutate the plan's dicts in place and may raise
+        # mid-loop, after some entries were already replaced.
+        backup = fallback.snapshot()
+        try:
+            return self.run(name, fn)
+        except Exception as exc:
+            self.state.restore(entry)
+            self.health.rollback(f"phase:{name}", f"rolled back after {exc!r}")
+            self.health.degrade(f"mapping option phase {name!r} skipped: {exc}")
+            return backup
+
+
+def _run_prefix(
+    runner: _PhaseRunner, extra_rules: tuple[Rule, ...]
+) -> MappingPlan:
+    """The binary rule-firing phase and the plan synthesis."""
+    executor = GuardedExecutor(runner.mode, runner.health)
+    engine = TransformationEngine()
+    for rule in extra_rules:
+        engine.add_rule(rule)
+
+    def binary_phase():
+        engine.run(runner.state, executor=executor)
+        return None
+
+    runner.run("binary", binary_phase)
+    return runner.run("plan", lambda: build_plan(runner.state))
+
+
+def _run_option_phases(runner: _PhaseRunner, plan: MappingPlan) -> MappingPlan:
+    """The combine and omit phases (mapping options 4 and 5)."""
+    state = runner.state
+
+    def combines_phase(p=plan):
+        apply_combines(state, p)
+        return p
+
+    plan = runner.run_optional("combines", combines_phase, plan)
+
+    def omissions_phase(p=plan):
+        apply_omissions(state, p)
+        return p
+
+    return runner.run_optional("omissions", omissions_phase, plan)
+
+
+def _run_materialize(
+    runner: _PhaseRunner,
+    source: BinarySchema,
+    plan: MappingPlan,
+) -> MappingResult:
+    """Materialization and result assembly."""
+    state = runner.state
+
+    def materialize_phase(p=plan):
+        relational, provenance = materialize(state, p)
+        return relational, provenance, p
+
+    relational, provenance, plan = runner.run(
+        "materialize", materialize_phase
+    )
+    for pseudo in state.pseudo_constraints:
+        provenance.add_forward(
+            f"PSEUDO {pseudo.name}",
+            pseudo.text,
+        )
+    return MappingResult(
+        source=source,
+        canonical=state.schema,
+        relational=relational,
+        options=state.options,
+        plan=plan,
+        provenance=provenance,
+        steps=state.steps,
+        pseudo_constraints=state.pseudo_constraints,
+        state=state,
+        state_map=RelationalStateMap(plan, relational),
+        health=runner.health,
+    )
 
 
 def map_schema(
@@ -77,82 +210,145 @@ def map_schema(
     state = MappingState(
         schema=schema.copy(), options=options, original=schema
     )
-    executor = GuardedExecutor(mode, health)
-    engine = TransformationEngine()
-    for rule in extra_rules:
-        engine.add_rule(rule)
+    runner = _PhaseRunner(state, mode, health, checkpoints)
+    plan = _run_prefix(runner, extra_rules)
+    plan = _run_option_phases(runner, plan)
+    return _run_materialize(runner, schema, plan)
 
-    def run_phase(name, fn):
-        if checkpoints is not None:
-            return checkpoints.run(name, state, fn, health)
-        faults.reach(f"phase:{name}", state=state)
-        value = fn()
-        health.completed_phases.append(name)
-        return value
 
-    def run_optional_phase(name, fn, fallback):
-        """A mapping-option phase: best-effort sessions survive its
-        failure by rolling it back and continuing without it."""
-        if mode is not RecoveryMode.BEST_EFFORT:
-            return run_phase(name, fn)
-        entry = state.snapshot()
-        # A cheap shallow restore point instead of deepcopy: the copy
-        # cannot be deferred into the except path because the option
-        # phases mutate the plan's dicts in place and may raise
-        # mid-loop, after some entries were already replaced.
-        backup = fallback.snapshot()
-        try:
-            return run_phase(name, fn)
-        except Exception as exc:
-            state.restore(entry)
-            health.rollback(f"phase:{name}", f"rolled back after {exc!r}")
-            health.degrade(f"mapping option phase {name!r} skipped: {exc}")
-            return backup
+@dataclass(frozen=True)
+class MappingPrefix:
+    """The shared binary-phase prefix of a family of mapping sessions.
 
-    def binary_phase():
-        engine.run(state, executor=executor)
-        return None
+    Captures the session right after plan synthesis: the post-plan
+    state image (a cheap :class:`~repro.mapper.state.StateSnapshot`,
+    not a deepcopy) plus the synthesized plan.  Every option set that
+    agrees with ``options`` on its
+    :meth:`~repro.mapper.options.MappingOptions.prefix_key` — i.e.
+    differs only in combine/omit choices — can fork its suffix from
+    this prefix through :func:`map_from_prefix` or
+    :func:`plan_from_prefix` instead of redoing the binary phase.
+    """
 
-    run_phase("binary", binary_phase)
-    plan = run_phase("plan", lambda: build_plan(state))
+    source: BinarySchema
+    options: MappingOptions  #: prefix-normalized (no combine/omit)
+    snapshot: StateSnapshot
+    plan: MappingPlan
+    health: HealthReport
+    mode: RecoveryMode
 
-    def combines_phase(p=plan):
-        apply_combines(state, p)
-        return p
-
-    plan = run_optional_phase("combines", combines_phase, plan)
-
-    def omissions_phase(p=plan):
-        apply_omissions(state, p)
-        return p
-
-    plan = run_optional_phase("omissions", omissions_phase, plan)
-
-    def materialize_phase(p=plan):
-        relational, provenance = materialize(state, p)
-        return relational, provenance, p
-
-    relational, provenance, plan = run_phase(
-        "materialize", materialize_phase
-    )
-    for pseudo in state.pseudo_constraints:
-        provenance.add_forward(
-            f"PSEUDO {pseudo.name}",
-            pseudo.text,
+    def fork_state(self, options: MappingOptions) -> MappingState:
+        """A fresh working state at the seam, under new options."""
+        state = MappingState(
+            schema=self.source.copy(),
+            options=options,
+            original=self.source,
         )
-    return MappingResult(
-        source=schema,
-        canonical=state.schema,
-        relational=relational,
-        options=options,
-        plan=plan,
-        provenance=provenance,
-        steps=state.steps,
-        pseudo_constraints=state.pseudo_constraints,
-        state=state,
-        state_map=RelationalStateMap(plan, relational),
-        health=health,
+        state.restore(self.snapshot)
+        return state
+
+    def fork_plan(self, options: MappingOptions) -> MappingPlan:
+        """An independent plan copy carrying the candidate's options."""
+        plan = self.plan.snapshot()
+        plan.options = options
+        return plan
+
+
+def map_prefix(
+    schema: BinarySchema,
+    options: MappingOptions | None = None,
+    *,
+    analyze_first: bool = True,
+    extra_rules: tuple[Rule, ...] = (),
+    robustness: RecoveryMode | str | None = None,
+    checkpoints: CheckpointManager | None = None,
+) -> MappingPrefix:
+    """Run a mapping session up to the post-plan seam, reusably.
+
+    Combine/omit fields of ``options`` are ignored (stripped via
+    :meth:`~repro.mapper.options.MappingOptions.prefix_options`); they
+    belong to the suffixes forked from the returned prefix.  A
+    ``checkpoints`` manager, when given, is bound to the *prefix*
+    options, so a failed prefix run can be resumed like any session.
+    """
+    options = (options or MappingOptions()).prefix_options()
+    mode = resolve_mode(robustness)
+    if analyze_first:
+        _gate(schema, options)
+    if checkpoints is not None:
+        checkpoints.bind(schema.name, options)
+    health = HealthReport(mode=mode.value)
+    state = MappingState(
+        schema=schema.copy(), options=options, original=schema
     )
+    runner = _PhaseRunner(state, mode, health, checkpoints)
+    plan = _run_prefix(runner, extra_rules)
+    return MappingPrefix(
+        source=schema,
+        options=options,
+        snapshot=state.snapshot(),
+        plan=plan.snapshot(),
+        health=health,
+        mode=mode,
+    )
+
+
+def _fork(
+    prefix: MappingPrefix,
+    options: MappingOptions | None,
+    robustness: RecoveryMode | str | None,
+) -> tuple[_PhaseRunner, MappingPlan]:
+    """A suffix session (runner + plan) forked from a prefix."""
+    options = prefix.options if options is None else options
+    if options.prefix_key() != prefix.options.prefix_key():
+        raise MappingError(
+            f"options {options.describe()!r} do not share the prefix "
+            f"{prefix.options.describe()!r}: re-run map_prefix instead "
+            "of forking"
+        )
+    mode = prefix.mode if robustness is None else resolve_mode(robustness)
+    health = copy.deepcopy(prefix.health)
+    health.mode = mode.value
+    state = prefix.fork_state(options)
+    plan = prefix.fork_plan(options)
+    return _PhaseRunner(state, mode, health, None), plan
+
+
+def map_from_prefix(
+    prefix: MappingPrefix,
+    options: MappingOptions | None = None,
+    *,
+    robustness: RecoveryMode | str | None = None,
+) -> MappingResult:
+    """Complete a mapping session from a shared prefix.
+
+    Equivalent to ``map_schema(prefix.source, options)`` for any
+    ``options`` sharing the prefix's
+    :meth:`~repro.mapper.options.MappingOptions.prefix_key`, but
+    without redoing the binary phase and plan synthesis.
+    """
+    runner, plan = _fork(prefix, options, robustness)
+    plan = _run_option_phases(runner, plan)
+    return _run_materialize(runner, prefix.source, plan)
+
+
+def plan_from_prefix(
+    prefix: MappingPrefix,
+    options: MappingOptions | None = None,
+    *,
+    robustness: RecoveryMode | str | None = None,
+) -> tuple[MappingPlan, HealthReport]:
+    """The combined/omitted relation plans for one candidate, without
+    materializing the relational schema.
+
+    The advisor scores candidates on their plans (columns, keys,
+    nullability and datatypes are all decided at plan level), which
+    skips the materialization cost for every candidate that is not a
+    winner; :func:`map_from_prefix` materializes the winners.
+    """
+    runner, plan = _fork(prefix, options, robustness)
+    plan = _run_option_phases(runner, plan)
+    return plan, runner.health
 
 
 def _gate(schema: BinarySchema, options: MappingOptions) -> None:

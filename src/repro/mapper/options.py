@@ -15,7 +15,7 @@ five option families of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from enum import Enum
 
 
@@ -85,6 +85,34 @@ class MappingOptions:
     omit_tables: tuple[str, ...] = ()
     scope: tuple[str, ...] | None = None
 
+    def __post_init__(self) -> None:
+        # Accept dicts and lists for the collection fields (callers
+        # naturally write ``{"S": SublinkPolicy.TOGETHER}``) but store
+        # hashable tuples: the advisor uses option sets as dict keys
+        # and a frozen dataclass with a mutable field would break
+        # ``__hash__`` silently.
+        object.__setattr__(
+            self,
+            "sublink_overrides",
+            _pairs(self.sublink_overrides),
+        )
+        object.__setattr__(
+            self,
+            "lexical_preferences",
+            tuple(
+                (name, tuple(key))
+                for name, key in _pairs(self.lexical_preferences)
+            ),
+        )
+        object.__setattr__(
+            self,
+            "combine_tables",
+            tuple(tuple(pair) for pair in self.combine_tables),
+        )
+        object.__setattr__(self, "omit_tables", tuple(self.omit_tables))
+        if self.scope is not None:
+            object.__setattr__(self, "scope", tuple(self.scope))
+
     def policy_for(self, sublink_name: str) -> SublinkPolicy:
         """The effective policy for one sublink type."""
         for name, policy in self.sublink_overrides:
@@ -98,6 +126,94 @@ class MappingOptions:
 
     def with_overrides(self, **overrides: object) -> "MappingOptions":
         """A copy with some fields replaced (convenience for sweeps)."""
-        from dataclasses import replace
-
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Canonical forms — the advisor's dedup and grouping keys
+    # ------------------------------------------------------------------
+
+    def canonical(self) -> "MappingOptions":
+        """An equivalent option set in canonical field order.
+
+        Two option sets that behave identically — same effective
+        per-sublink policies, same preferences, same combines and
+        omissions — canonicalize to equal (and equal-hashing) values,
+        which is what the advisor dedups candidates by.  Duplicate
+        override/preference entries keep the *first* occurrence, the
+        one :meth:`policy_for` honours; the survivors are then sorted.
+        """
+        return replace(
+            self,
+            sublink_overrides=_canonical_pairs(self.sublink_overrides),
+            lexical_preferences=_canonical_pairs(self.lexical_preferences),
+            combine_tables=tuple(sorted(set(self.combine_tables))),
+            omit_tables=tuple(sorted(set(self.omit_tables))),
+            scope=None if self.scope is None else tuple(sorted(set(self.scope))),
+        )
+
+    def candidate_key(self) -> tuple:
+        """A hashable identity for the whole option set (canonical)."""
+        c = self.canonical()
+        return (
+            c.null_policy,
+            c.sublink_policy,
+            c.sublink_overrides,
+            c.lexical_preferences,
+            c.combine_tables,
+            c.omit_tables,
+            c.scope,
+        )
+
+    def prefix_key(self) -> tuple:
+        """The identity of the *binary-phase prefix* of the pipeline.
+
+        Only the null/sublink/lexical/scope choices influence the
+        binary-to-binary phase and the plan synthesis; the combine and
+        omit choices act on the finished plan.  Candidates with equal
+        prefix keys can therefore share one prefix run (see
+        :func:`repro.mapper.engine.map_prefix`).
+        """
+        c = self.canonical()
+        return (
+            c.null_policy,
+            c.sublink_policy,
+            c.sublink_overrides,
+            c.lexical_preferences,
+            c.scope,
+        )
+
+    def prefix_options(self) -> "MappingOptions":
+        """The canonical options with the plan-level (combine/omit)
+        choices stripped — what a shared prefix run is keyed by."""
+        return self.canonical().with_overrides(
+            combine_tables=(), omit_tables=()
+        )
+
+    def describe(self) -> str:
+        """A short, stable, human-readable label for reports."""
+        parts = [self.null_policy.name, self.sublink_policy.name]
+        for name, policy in self.canonical().sublink_overrides:
+            parts.append(f"{name}={policy.name}")
+        for name, key in self.canonical().lexical_preferences:
+            parts.append(f"{name}:{'+'.join(key)}")
+        for target, source in self.canonical().combine_tables:
+            parts.append(f"combine({target}<-{source})")
+        for table in self.canonical().omit_tables:
+            parts.append(f"omit({table})")
+        return " ".join(parts)
+
+
+def _pairs(value) -> tuple[tuple, ...]:
+    """Coerce a mapping or iterable of pairs to a tuple of tuples."""
+    if isinstance(value, dict):
+        return tuple(value.items())
+    return tuple(tuple(pair) for pair in value)
+
+
+def _canonical_pairs(pairs: tuple[tuple, ...]) -> tuple[tuple, ...]:
+    """First-occurrence-wins dedup by key, then sorted by key."""
+    seen: dict = {}
+    for name, value in pairs:
+        if name not in seen:
+            seen[name] = value
+    return tuple(sorted(seen.items(), key=lambda item: item[0]))

@@ -1,0 +1,204 @@
+"""Enumeration of the section-4.2 mapping-option lattice.
+
+The paper makes the RIDL-M mapping a *family* of relational schemas:
+"the transformation process can be influenced by the database
+engineer ... by exercising a number of mapping options".  An
+:class:`OptionSpace` describes which of those dials to turn — the
+null-policy and sublink-policy axes, per-sublink exceptions, lexical
+choices, and combine/omit toggles — and :func:`enumerate_options`
+walks the resulting lattice in a deterministic order, deduplicating
+by :meth:`~repro.mapper.options.MappingOptions.candidate_key`,
+applying a pluggable pruning predicate, and honouring a hard
+candidate cap.
+
+:func:`discover_space` builds a reasonable default space for a given
+schema by probing one default mapping: sublink-override axes for the
+schema's sublink types and omit toggles for its many-to-many fact
+relations (the tables whose loss is representable as a pseudo
+constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Iterator
+
+from repro.brm.schema import BinarySchema
+from repro.mapper.options import MappingOptions, NullPolicy, SublinkPolicy
+
+#: A predicate deciding whether a candidate stays in the lattice.
+PrunePredicate = Callable[[MappingOptions], bool]
+
+#: The policy axes explored when a space does not say otherwise.  The
+#: NULL ALLOWED policy is excluded by default: it exists to rescue
+#: non-homogeneously-referenced types and degenerates to DEFAULT on
+#: schemas that need no rescue.
+DEFAULT_NULL_AXIS = (
+    NullPolicy.DEFAULT,
+    NullPolicy.NOT_IN_KEYS,
+    NullPolicy.NOT_ALLOWED,
+)
+DEFAULT_SUBLINK_AXIS = (
+    SublinkPolicy.SEPARATE,
+    SublinkPolicy.TOGETHER,
+    SublinkPolicy.INDICATOR,
+)
+
+
+@dataclass(frozen=True)
+class OptionSpace:
+    """The dials to turn, one axis per option family.
+
+    ``sublink_override_axes`` maps a sublink name to the policies to
+    try for it; ``None`` in the policy tuple means "follow the global
+    policy" (no override entry).  ``lexical_axes`` maps a NOLOT name
+    to the reference-scheme keys to try.  ``combine_toggles`` and
+    ``omit_toggles`` are independently switched on or off, so each
+    contributes a factor of two to the lattice.  ``base`` supplies
+    every field the axes do not vary.
+    """
+
+    base: MappingOptions = field(default_factory=MappingOptions)
+    null_policies: tuple[NullPolicy, ...] = DEFAULT_NULL_AXIS
+    sublink_policies: tuple[SublinkPolicy, ...] = DEFAULT_SUBLINK_AXIS
+    sublink_override_axes: tuple[
+        tuple[str, tuple[SublinkPolicy | None, ...]], ...
+    ] = ()
+    lexical_axes: tuple[tuple[str, tuple[tuple[str, ...], ...]], ...] = ()
+    combine_toggles: tuple[tuple[str, str], ...] = ()
+    omit_toggles: tuple[str, ...] = ()
+    max_candidates: int = 256
+
+    def size(self) -> int:
+        """The unpruned, undeduplicated lattice size."""
+        total = max(1, len(self.null_policies)) * max(
+            1, len(self.sublink_policies)
+        )
+        for _, policies in self.sublink_override_axes:
+            total *= max(1, len(policies))
+        for _, keys in self.lexical_axes:
+            total *= max(1, len(keys))
+        total *= 2 ** len(self.combine_toggles)
+        total *= 2 ** len(self.omit_toggles)
+        return total
+
+
+def _raw_candidates(space: OptionSpace) -> Iterator[MappingOptions]:
+    """The full cartesian product, in deterministic axis order."""
+    null_axis = space.null_policies or (space.base.null_policy,)
+    sublink_axis = space.sublink_policies or (space.base.sublink_policy,)
+    override_axes = [
+        [(name, policy) for policy in policies]
+        for name, policies in space.sublink_override_axes
+    ]
+    lexical_axes = [
+        [(name, key) for key in keys] for name, keys in space.lexical_axes
+    ]
+    combine_axes = [((pair, True), (pair, False)) for pair in space.combine_toggles]
+    omit_axes = [((table, True), (table, False)) for table in space.omit_toggles]
+    for (
+        null_policy,
+        sublink_policy,
+        overrides,
+        lexicals,
+        combines,
+        omissions,
+    ) in product(
+        null_axis,
+        sublink_axis,
+        product(*override_axes),
+        product(*lexical_axes),
+        product(*combine_axes),
+        product(*omit_axes),
+    ):
+        yield space.base.with_overrides(
+            null_policy=null_policy,
+            sublink_policy=sublink_policy,
+            sublink_overrides=tuple(
+                (name, policy)
+                for name, policy in overrides
+                if policy is not None
+            ),
+            lexical_preferences=tuple(lexicals),
+            combine_tables=space.base.combine_tables
+            + tuple(pair for pair, on in combines if on),
+            omit_tables=space.base.omit_tables
+            + tuple(table for table, on in omissions if on),
+        )
+
+
+def enumerate_options(
+    space: OptionSpace,
+    prune: PrunePredicate | None = None,
+) -> tuple[MappingOptions, ...]:
+    """The candidate option sets of the space, in enumeration order.
+
+    Candidates are canonicalized, deduplicated by
+    :meth:`~repro.mapper.options.MappingOptions.candidate_key` (axes
+    may overlap, e.g. an override axis repeating the global policy),
+    filtered by ``prune`` (keep when it returns True), and truncated
+    at ``space.max_candidates``.
+    """
+    seen: set[tuple] = set()
+    candidates: list[MappingOptions] = []
+    for raw in _raw_candidates(space):
+        candidate = raw.canonical()
+        key = candidate.candidate_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        if prune is not None and not prune(candidate):
+            continue
+        candidates.append(candidate)
+        if len(candidates) >= space.max_candidates:
+            break
+    return tuple(candidates)
+
+
+def discover_space(
+    schema: BinarySchema,
+    *,
+    base: MappingOptions | None = None,
+    null_policies: tuple[NullPolicy, ...] = DEFAULT_NULL_AXIS,
+    sublink_policies: tuple[SublinkPolicy, ...] = DEFAULT_SUBLINK_AXIS,
+    max_override_axes: int = 0,
+    max_omit_toggles: int = 2,
+    max_candidates: int = 256,
+) -> OptionSpace:
+    """A default option space for one schema, discovered by probing.
+
+    Omit toggles come from one probe mapping under the base options:
+    the first ``max_omit_toggles`` many-to-many fact relations (in
+    name order) are offered for omission — dropping a fact relation
+    is always representable, RIDL-M records the loss as a pseudo
+    constraint.  With ``max_override_axes`` > 0 the first sublink
+    types (in name order) additionally get per-sublink exception
+    axes over ``sublink_policies``.
+    """
+    from repro.mapper.engine import map_prefix
+
+    base = (base or MappingOptions()).canonical()
+    override_axes: tuple[tuple[str, tuple[SublinkPolicy | None, ...]], ...] = ()
+    if max_override_axes > 0:
+        names = sorted(s.name for s in schema.sublinks)[:max_override_axes]
+        override_axes = tuple(
+            (name, (None,) + tuple(sublink_policies)) for name in names
+        )
+    omit_toggles: tuple[str, ...] = ()
+    if max_omit_toggles > 0:
+        probe = map_prefix(schema, base)
+        fact_relations = sorted(
+            plan.relation
+            for plan in probe.plan.plans.values()
+            if plan.kind == "fact"
+        )
+        omit_toggles = tuple(fact_relations[:max_omit_toggles])
+    return OptionSpace(
+        base=base,
+        null_policies=null_policies,
+        sublink_policies=sublink_policies,
+        sublink_override_axes=override_axes,
+        omit_toggles=omit_toggles,
+        max_candidates=max_candidates,
+    )

@@ -1,0 +1,213 @@
+"""Option canonicalization and the option-lattice enumeration."""
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.mapper import (
+    MappingOptions,
+    NullPolicy,
+    OptionSpace,
+    SublinkPolicy,
+    discover_space,
+    enumerate_options,
+)
+
+
+class TestOptionsNormalization:
+    def test_dict_inputs_become_tuples(self):
+        options = MappingOptions(
+            sublink_overrides={"S": SublinkPolicy.TOGETHER},
+            lexical_preferences={"Person": ["PersonName"]},
+            combine_tables=[["A", "B"]],
+            omit_tables=["T"],
+            scope=["Paper"],
+        )
+        assert options.sublink_overrides == (("S", SublinkPolicy.TOGETHER),)
+        assert options.lexical_preferences == (("Person", ("PersonName",)),)
+        assert options.combine_tables == (("A", "B"),)
+        assert options.omit_tables == ("T",)
+        assert options.scope == ("Paper",)
+
+    def test_hashable_regardless_of_input_shape(self):
+        from_dict = MappingOptions(
+            sublink_overrides={"S": SublinkPolicy.TOGETHER}
+        )
+        from_tuple = MappingOptions(
+            sublink_overrides=(("S", SublinkPolicy.TOGETHER),)
+        )
+        assert hash(from_dict) == hash(from_tuple)
+        assert from_dict == from_tuple
+        assert len({from_dict, from_tuple}) == 1
+
+    def test_canonical_sorts_and_dedups(self):
+        options = MappingOptions(
+            sublink_overrides=(
+                ("Z", SublinkPolicy.TOGETHER),
+                ("A", SublinkPolicy.INDICATOR),
+                ("Z", SublinkPolicy.SEPARATE),  # duplicate: first wins
+            ),
+            omit_tables=("T2", "T1", "T2"),
+        )
+        canonical = options.canonical()
+        assert canonical.sublink_overrides == (
+            ("A", SublinkPolicy.INDICATOR),
+            ("Z", SublinkPolicy.TOGETHER),
+        )
+        assert canonical.omit_tables == ("T1", "T2")
+
+    def test_canonical_preserves_policy_for(self):
+        options = MappingOptions(
+            sublink_overrides=(
+                ("Z", SublinkPolicy.TOGETHER),
+                ("Z", SublinkPolicy.SEPARATE),
+            ),
+        )
+        assert (
+            options.canonical().policy_for("Z")
+            is options.policy_for("Z")
+            is SublinkPolicy.TOGETHER
+        )
+
+    def test_candidate_key_identifies_equivalent_sets(self):
+        a = MappingOptions(
+            omit_tables=("T1", "T2"),
+            sublink_overrides=(("S", SublinkPolicy.TOGETHER),),
+        )
+        b = MappingOptions(
+            omit_tables=("T2", "T1"),
+            sublink_overrides={"S": SublinkPolicy.TOGETHER},
+        )
+        assert a.candidate_key() == b.candidate_key()
+
+    def test_prefix_key_ignores_combine_and_omit(self):
+        base = MappingOptions(null_policy=NullPolicy.NOT_IN_KEYS)
+        suffixed = base.with_overrides(
+            combine_tables=(("A", "B"),), omit_tables=("T",)
+        )
+        assert base.prefix_key() == suffixed.prefix_key()
+        assert base.candidate_key() != suffixed.candidate_key()
+        assert suffixed.prefix_options() == base
+
+    def test_prefix_key_sees_prefix_fields(self):
+        base = MappingOptions()
+        assert (
+            base.prefix_key()
+            != base.with_overrides(null_policy=NullPolicy.ALLOWED).prefix_key()
+        )
+        assert (
+            base.prefix_key()
+            != base.with_overrides(
+                sublink_overrides={"S": SublinkPolicy.TOGETHER}
+            ).prefix_key()
+        )
+
+    def test_describe_is_stable(self):
+        options = MappingOptions(
+            null_policy=NullPolicy.NOT_ALLOWED,
+            combine_tables=(("A", "B"),),
+            omit_tables=("T",),
+        )
+        assert options.describe() == (
+            "NOT_ALLOWED SEPARATE combine(A<-B) omit(T)"
+        )
+
+
+class TestEnumeration:
+    def test_policy_axes_product(self):
+        space = OptionSpace(
+            null_policies=(NullPolicy.DEFAULT, NullPolicy.NOT_ALLOWED),
+            sublink_policies=(SublinkPolicy.SEPARATE, SublinkPolicy.TOGETHER),
+        )
+        candidates = enumerate_options(space)
+        assert len(candidates) == 4
+        assert len({c.candidate_key() for c in candidates}) == 4
+
+    def test_toggles_double_the_lattice(self):
+        space = OptionSpace(
+            null_policies=(NullPolicy.DEFAULT,),
+            sublink_policies=(SublinkPolicy.SEPARATE,),
+            combine_toggles=(("A", "B"),),
+            omit_toggles=("T",),
+        )
+        assert space.size() == 4
+        candidates = enumerate_options(space)
+        assert len(candidates) == 4
+        suffixes = {
+            (c.combine_tables, c.omit_tables) for c in candidates
+        }
+        assert suffixes == {
+            ((("A", "B"),), ("T",)),
+            ((("A", "B"),), ()),
+            ((), ("T",)),
+            ((), ()),
+        }
+
+    def test_override_axis_none_means_follow_global(self):
+        space = OptionSpace(
+            null_policies=(NullPolicy.DEFAULT,),
+            sublink_policies=(SublinkPolicy.SEPARATE,),
+            sublink_override_axes=(
+                ("S", (None, SublinkPolicy.TOGETHER)),
+            ),
+        )
+        candidates = enumerate_options(space)
+        assert [c.sublink_overrides for c in candidates] == [
+            (),
+            (("S", SublinkPolicy.TOGETHER),),
+        ]
+
+    def test_overlapping_axes_dedup(self):
+        # The override axis repeats the global policy: the two corners
+        # canonicalize to distinct keys, but an explicit SEPARATE
+        # override equals... it does not — overrides are recorded.
+        # Dedup is exercised through identical *candidate* values:
+        space = OptionSpace(
+            null_policies=(NullPolicy.DEFAULT, NullPolicy.DEFAULT),
+            sublink_policies=(SublinkPolicy.SEPARATE,),
+        )
+        assert len(enumerate_options(space)) == 1
+
+    def test_prune_predicate(self):
+        space = OptionSpace()
+        pruned = enumerate_options(
+            space,
+            prune=lambda c: c.null_policy is not NullPolicy.NOT_ALLOWED,
+        )
+        assert pruned
+        assert all(
+            c.null_policy is not NullPolicy.NOT_ALLOWED for c in pruned
+        )
+
+    def test_hard_cap(self):
+        space = OptionSpace(max_candidates=3)
+        assert space.size() == 9
+        assert len(enumerate_options(space)) == 3
+
+    def test_deterministic_order(self):
+        space = OptionSpace(
+            combine_toggles=(("A", "B"),), omit_toggles=("T",)
+        )
+        first = enumerate_options(space)
+        second = enumerate_options(space)
+        assert first == second
+
+
+class TestDiscoverSpace:
+    def test_probes_fact_relations_for_omit_toggles(self):
+        from repro.cris import cris_schema
+
+        space = discover_space(cris_schema())
+        # assigned_to and committee_member are the m:n facts.
+        assert space.omit_toggles == ("assigned_to", "committee_member")
+
+    def test_no_fact_relations_no_toggles(self):
+        space = discover_space(figure6_schema())
+        assert space.omit_toggles == ()
+
+    def test_override_axes_from_schema_sublinks(self):
+        space = discover_space(figure6_schema(), max_override_axes=2)
+        names = [name for name, _ in space.sublink_override_axes]
+        assert names == ["Invited_Paper_IS_Paper", "Program_Paper_IS_Paper"]
+        for _, policies in space.sublink_override_axes:
+            assert policies[0] is None
+            assert set(policies[1:]) == set(SublinkPolicy)

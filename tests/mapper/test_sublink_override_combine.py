@@ -1,0 +1,195 @@
+"""Per-sublink policy overrides, pairwise, and their combine interplay.
+
+Section 4.2.2: the global sublink option "may be overridden for
+chosen individual sublink types".  The advisor enumerates every
+override combination, so each pairwise combination of the three
+policies over figure 6's two sublinks (``Invited_Paper_IS_Paper``,
+``Program_Paper_IS_Paper``) is pinned down here against its expected
+table shapes, and the combine phase (mapping option 4) is exercised
+against each policy of the combined subtype's sublink.
+"""
+
+from itertools import product
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.errors import MappingError
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+
+INVITED = "Invited_Paper_IS_Paper"
+PROGRAM = "Program_Paper_IS_Paper"
+
+#: Expected relation set per (Invited policy, Program policy).
+#: TOGETHER folds the subtype's relation away; SEPARATE and INDICATOR
+#: keep it (INDICATOR adds the ``Is_<subtype>`` attribute on the
+#: super-relation, controlled by a conditional equality constraint).
+EXPECTED_TABLES = {
+    (SublinkPolicy.SEPARATE, SublinkPolicy.SEPARATE): {
+        "Paper", "Invited_Paper", "Program_Paper",
+    },
+    (SublinkPolicy.SEPARATE, SublinkPolicy.TOGETHER): {
+        "Paper", "Invited_Paper",
+    },
+    (SublinkPolicy.SEPARATE, SublinkPolicy.INDICATOR): {
+        "Paper", "Invited_Paper", "Program_Paper",
+    },
+    (SublinkPolicy.TOGETHER, SublinkPolicy.SEPARATE): {
+        "Paper", "Program_Paper",
+    },
+    (SublinkPolicy.TOGETHER, SublinkPolicy.TOGETHER): {"Paper"},
+    (SublinkPolicy.TOGETHER, SublinkPolicy.INDICATOR): {
+        "Paper", "Program_Paper",
+    },
+    (SublinkPolicy.INDICATOR, SublinkPolicy.SEPARATE): {
+        "Paper", "Program_Paper",
+    },
+    (SublinkPolicy.INDICATOR, SublinkPolicy.TOGETHER): {"Paper"},
+    (SublinkPolicy.INDICATOR, SublinkPolicy.INDICATOR): {
+        "Paper", "Program_Paper",
+    },
+}
+
+PAIRS = sorted(EXPECTED_TABLES, key=lambda pair: (pair[0].name, pair[1].name))
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return figure6_schema()
+
+
+def _map_with(schema, invited, program, **overrides):
+    options = MappingOptions(
+        sublink_overrides=((INVITED, invited), (PROGRAM, program)),
+        **overrides,
+    )
+    return map_schema(schema, options)
+
+
+class TestPairwiseOverrides:
+    @pytest.mark.parametrize("invited,program", PAIRS)
+    def test_table_set(self, schema, invited, program):
+        result = _map_with(schema, invited, program)
+        names = {r.name for r in result.relational.relations}
+        assert names == EXPECTED_TABLES[(invited, program)]
+
+    @pytest.mark.parametrize("invited,program", PAIRS)
+    def test_paper_shape(self, schema, invited, program):
+        """The super-relation carries exactly the columns the two
+        policies imply: the base facts, an ``Is_Invited_Paper``
+        indicator unless Invited stays SEPARATE, and either the
+        sublink attribute (Program kept apart) or Program_Paper's
+        absorbed facts (TOGETHER)."""
+        result = _map_with(schema, invited, program)
+        cols = {
+            a.name: a.nullable
+            for a in result.relational.relation("Paper").attributes
+        }
+        expected = {
+            "Paper_Id": False,
+            "Title_of": False,
+            "Date_of_submission": True,
+        }
+        if invited is not SublinkPolicy.SEPARATE:
+            # Invited_Paper has no reference of its own: both TOGETHER
+            # and INDICATOR must synthesize a membership indicator.
+            expected["Is_Invited_Paper"] = False
+        if program is SublinkPolicy.TOGETHER:
+            expected["Paper_ProgramId_with"] = True
+            expected["Person_presenting"] = True
+            expected["Session_comprising"] = True
+        else:
+            expected["Paper_ProgramId_Is"] = True
+            if program is SublinkPolicy.INDICATOR:
+                expected["Is_Program_Paper"] = False
+        assert cols == expected
+
+    @pytest.mark.parametrize("invited,program", PAIRS)
+    def test_program_paper_kept_iff_not_together(
+        self, schema, invited, program
+    ):
+        result = _map_with(schema, invited, program)
+        names = {r.name for r in result.relational.relations}
+        assert ("Program_Paper" in names) == (
+            program is not SublinkPolicy.TOGETHER
+        )
+
+    def test_override_beats_global_policy(self, schema):
+        """A global TOGETHER with a SEPARATE exception keeps exactly
+        the excepted subtype's relation."""
+        options = MappingOptions(
+            sublink_policy=SublinkPolicy.TOGETHER,
+            sublink_overrides=((PROGRAM, SublinkPolicy.SEPARATE),),
+        )
+        result = map_schema(schema, options)
+        names = {r.name for r in result.relational.relations}
+        assert names == {"Paper", "Program_Paper"}
+
+
+class TestOverridesMeetCombine:
+    """Mapping option 4 applied to the subtype relation each sublink
+    policy leaves behind (or not)."""
+
+    @pytest.mark.parametrize(
+        "program", [SublinkPolicy.SEPARATE, SublinkPolicy.INDICATOR]
+    )
+    def test_combine_absorbs_kept_subtype(self, schema, program):
+        """SEPARATE and INDICATOR keep Program_Paper; keyed by the
+        inherited Paper_Id (NOT IN KEYS), it can be combined into
+        Paper, which then holds the absorbed program facts."""
+        result = _map_with(
+            schema,
+            SublinkPolicy.SEPARATE,
+            program,
+            null_policy=NullPolicy.NOT_IN_KEYS,
+            combine_tables=(("Paper", "Program_Paper"),),
+        )
+        names = {r.name for r in result.relational.relations}
+        assert names == {"Paper", "Invited_Paper"}
+        paper = result.relational.relation("Paper")
+        for absorbed in (
+            "Paper_ProgramId_with",
+            "Person_presenting",
+            "Session_comprising",
+        ):
+            assert paper.attribute(absorbed).nullable
+        # The indicator column survives the combine.
+        assert paper.has_attribute("Is_Program_Paper") == (
+            program is SublinkPolicy.INDICATOR
+        )
+
+    def test_combine_rejected_after_together(self, schema):
+        """TOGETHER already folded Program_Paper away; combining the
+        no-longer-existing relation must fail loudly."""
+        with pytest.raises(MappingError, match="no relation"):
+            _map_with(
+                schema,
+                SublinkPolicy.SEPARATE,
+                SublinkPolicy.TOGETHER,
+                null_policy=NullPolicy.NOT_IN_KEYS,
+                combine_tables=(("Paper", "Program_Paper"),),
+            )
+
+    @pytest.mark.parametrize(
+        "invited,program",
+        [
+            (SublinkPolicy.TOGETHER, SublinkPolicy.SEPARATE),
+            (SublinkPolicy.INDICATOR, SublinkPolicy.INDICATOR),
+        ],
+    )
+    def test_combined_round_trip(self, schema, invited, program):
+        """The state mapping stays lossless through override + combine."""
+        from repro.cris import figure6_population
+
+        result = _map_with(
+            schema,
+            invited,
+            program,
+            null_policy=NullPolicy.NOT_IN_KEYS,
+            combine_tables=(("Paper", "Program_Paper"),),
+        )
+        population = figure6_population(schema)
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        assert database.is_valid(), [str(v) for v in database.check()][:3]
+        assert result.state_map.backward(database) == canonical

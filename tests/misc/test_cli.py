@@ -137,3 +137,98 @@ class TestShow:
         code, output = run(["show", str(schema_file), "--format", "dot"])
         assert code == 0
         assert output.startswith('digraph "figure6"')
+
+
+class TestAdvise:
+    def test_text_report(self, schema_file):
+        code, output = run(["advise", str(schema_file), "--workers", "1"])
+        assert code == 0
+        assert "option advisor" in output
+        assert "winner:" in output
+        assert "9 candidates" in output  # 3 null x 3 sublink policies
+
+    def test_json_report(self, schema_file):
+        import json
+
+        code, output = run(
+            [
+                "advise",
+                str(schema_file),
+                "--workers",
+                "1",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["winner"]
+        assert payload["ranked"][0]["rank"] == 1
+
+    def test_worker_count_does_not_change_output(self, schema_file):
+        argv = ["advise", str(schema_file), "--format", "json", "--top-k", "9"]
+        code_serial, serial = run(argv + ["--workers", "1"])
+        code_parallel, parallel = run(argv + ["--workers", "2"])
+        assert code_serial == code_parallel == 0
+        assert serial == parallel
+
+    def test_top_k_limits_rows(self, schema_file):
+        code, output = run(
+            ["advise", str(schema_file), "--workers", "1", "--top-k", "2"]
+        )
+        assert code == 0
+        ranks = [
+            line.split()[0]
+            for line in output.splitlines()
+            if line.strip() and line.split()[0].isdigit()
+        ]
+        assert ranks == ["1", "2"]
+
+    def test_axes_narrow_the_lattice(self, schema_file):
+        code, output = run(
+            [
+                "advise",
+                str(schema_file),
+                "--workers",
+                "1",
+                "--nulls-axis",
+                "DEFAULT",
+                "--sublinks-axis",
+                "SEPARATE,TOGETHER",
+            ]
+        )
+        assert code == 0
+        assert "2 candidates" in output
+
+    def test_omit_axis_toggles(self, schema_file):
+        code, output = run(
+            [
+                "advise",
+                str(schema_file),
+                "--workers",
+                "1",
+                "--nulls-axis",
+                "DEFAULT",
+                "--sublinks-axis",
+                "SEPARATE",
+                "--omit-axis",
+                "Invited_Paper",
+            ]
+        )
+        assert code == 0
+        assert "2 candidates" in output
+        assert "omit(Invited_Paper)" in output
+
+    def test_unknown_axis_policy_is_usage_error(self, schema_file):
+        code, output = run(
+            ["advise", str(schema_file), "--nulls-axis", "BOGUS"]
+        )
+        assert code == 2
+        assert "unknown policy" in output
+
+    def test_bad_combine_axis_is_usage_error(self, schema_file):
+        code, output = run(
+            ["advise", str(schema_file), "--combine-axis", "nonsense"]
+        )
+        assert code == 2
+        assert "TARGET=SOURCE" in output
