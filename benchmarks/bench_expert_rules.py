@@ -8,8 +8,6 @@ co-access-heavy workload?  The I/O cost model prices each design on
 the same conceptual query profile.
 """
 
-import pytest
-
 from conftest import emit
 from repro.engine.cost import TableStatistics, entity_fetch_cost
 from repro.mapper import MappingOptions, map_schema

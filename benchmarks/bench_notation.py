@@ -6,8 +6,6 @@ serialization and rendering of the CRIS schemas, and checks that the
 round trip through the meta-database's storage format is exact.
 """
 
-import pytest
-
 from conftest import emit
 from repro.dsl import parse, to_dsl
 from repro.metadb import MetaDatabase, export_metadb

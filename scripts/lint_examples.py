@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Lint the bundled examples and the CRIS mapping output.
+
+The CI ``example-lint`` job runs this script, uploads the SARIF
+files it writes, and fails when any target yields an error-severity
+finding.  Locally::
+
+    PYTHONPATH=src python scripts/lint_examples.py --out build/lint
+
+Targets: every ``examples/*.ridl`` file (suppression pragmas in the
+source are honoured) plus the in-memory CRIS case-study schema,
+linted together with its default mapping result across all dialect
+profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cris import cris_schema  # noqa: E402
+from repro.dsl import parse  # noqa: E402
+from repro.lint import lint_schema, render_sarif, render_text  # noqa: E402
+from repro.mapper import MappingOptions, map_schema  # noqa: E402
+from repro.sql.dialects import PROFILES  # noqa: E402
+
+
+def lint_ridl_file(path: Path, out_dir: Path) -> int:
+    source = path.read_text()
+    report = lint_schema(parse(source), source=source)
+    sarif_path = out_dir / f"{path.stem}.sarif"
+    sarif_path.write_text(
+        render_sarif(report, artifact_uri=path.relative_to(REPO).as_posix())
+    )
+    print(f"--- {path.relative_to(REPO)}")
+    print(render_text(report))
+    return len(report.errors)
+
+
+def lint_cris_mapping(out_dir: Path) -> int:
+    schema = cris_schema()
+    result = map_schema(schema, MappingOptions())
+    errors = 0
+    for dialect in sorted(PROFILES):
+        report = lint_schema(schema, result=result, dialect=dialect)
+        sarif_path = out_dir / f"cris-{dialect}.sarif"
+        sarif_path.write_text(render_sarif(report))
+        print(f"--- CRIS mapping ({dialect})")
+        print(render_text(report))
+        errors += len(report.errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO / "build" / "lint",
+        help="directory for the SARIF files (default: build/lint)",
+    )
+    namespace = parser.parse_args(argv)
+    namespace.out.mkdir(parents=True, exist_ok=True)
+
+    errors = 0
+    for path in sorted((REPO / "examples").glob("*.ridl")):
+        errors += lint_ridl_file(path, namespace.out)
+    errors += lint_cris_mapping(namespace.out)
+
+    if errors:
+        print(f"FAILED: {errors} error-severity finding(s)")
+        return 1
+    print("OK: zero error-severity findings")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -265,6 +265,34 @@ class SubsetGraph:
             self._lower_bound_cache[comp] = cached
         return cached
 
+    def has_intermediate(self, start: Node, goal: Node) -> bool:
+        """True when some third node ``n`` satisfies
+        pop(start) <= pop(n) <= pop(goal).
+
+        O(1) on the condensation bitmasks: an intermediate exists
+        when the components reachable from ``start`` and reaching
+        ``goal`` overlap beyond the two endpoint nodes themselves.
+        """
+        start_comp = self._comp_of.get(start)
+        goal_comp = self._comp_of.get(goal)
+        if start_comp is None or goal_comp is None:
+            return False
+        middle = self._reach_mask[start_comp] & self._pred_mask[goal_comp]
+        if middle & ~((1 << start_comp) | (1 << goal_comp)):
+            return True
+        if start_comp == goal_comp:
+            # A shared cycle: any third member is an intermediate.
+            size = len(self._members[start_comp])
+            return size > 2 if start != goal else size > 1
+        # Endpoint components on the path count when they hold a
+        # second node besides the endpoint itself.
+        return bool(
+            middle >> start_comp & 1
+            and len(self._members[start_comp]) > 1
+            or middle >> goal_comp & 1
+            and len(self._members[goal_comp]) > 1
+        )
+
 
 # Backwards-compatible alias for the pre-condensation class name.
 _InclusionGraph = SubsetGraph

@@ -9,6 +9,7 @@ loop of the paper's figure 1::
     python -m repro map conference.ridl --strict        # abort on any failure
     python -m repro map conference.ridl --best-effort   # survive, report health
     python -m repro report conference.ridl --out build/
+    python -m repro lint conference.ridl --format sarif > lint.sarif
     python -m repro show conference.ridl --format dot > schema.dot
 
 ``map`` prints DDL; ``report`` writes the full artifact set (DDL for
@@ -20,8 +21,10 @@ step; ``--best-effort`` lets the fault-tolerant session quarantine bad
 rules and skip failed option phases, prints the health report, and
 exits with code 5 when the result is degraded.  Exit codes are
 distinct per failure class: 0 success, 1 analysis found the schema
-unmappable, 2 parse/usage errors, 3 analysis failures, 4 mapping
-failures, 5 degraded best-effort success.
+unmappable (or ``lint`` found errors), 2 parse/usage errors, 3
+analysis failures, 4 mapping failures, 5 degraded best-effort
+success.  Every argument error — argparse's own and our option
+validation alike — prints a one-line message and exits 2.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from pathlib import Path
 from repro.analyzer import analyze
 from repro.dsl import parse
 from repro.errors import AnalysisError, MappingError, RidlError
+from repro.lint import lint_schema, render_json, render_sarif, render_text
 from repro.mapper import (
     MappingOptions,
     NullPolicy,
@@ -57,9 +61,23 @@ _NULL_CHOICES = {policy.name: policy for policy in NullPolicy}
 _SUBLINK_CHOICES = {policy.name: policy for policy in SublinkPolicy}
 
 
+class _Parser(argparse.ArgumentParser):
+    """An argument parser that reports usage errors uniformly.
+
+    Stock argparse prints a multi-line usage block to stderr and
+    exits the process; our own option validation raises
+    :class:`RidlError` and prints one line.  Routing argparse's
+    errors through the same exception unifies every argument error
+    on a one-line message and exit code 2.
+    """
+
+    def error(self, message: str) -> None:  # type: ignore[override]
+        raise RidlError(f"{self.prog}: {message}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser (exposed for tests and docs)."""
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="RIDL* reproduction: analyze and map binary "
         "conceptual schemas written in the DSL.",
@@ -166,6 +184,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
 
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="run the static-diagnostics rules over a schema and "
+        "its mapping artifacts",
+    )
+    lint_cmd.add_argument("schema", type=Path)
+    lint_cmd.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated codes or prefixes to run exclusively "
+        "(e.g. BRM009,TRC)",
+    )
+    lint_cmd.add_argument(
+        "--ignore",
+        default=None,
+        metavar="CODES",
+        help="comma-separated codes or prefixes to skip",
+    )
+    lint_cmd.add_argument(
+        "--dialect",
+        default="sql2",
+        choices=sorted(PROFILES),
+        help="dialect profile for the SQL2xx identifier rules "
+        "(default: sql2)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif"],
+        help="report format (default: text)",
+    )
+
     show_cmd = commands.add_parser(
         "show", help="render the conceptual schema"
     )
@@ -247,8 +298,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     parser = build_parser()
-    namespace = parser.parse_args(argv)
     try:
+        namespace = parser.parse_args(argv)
         if namespace.command == "analyze":
             report = analyze(_load(namespace.schema))
             print(report.render(), file=out)
@@ -273,6 +324,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
             return _finish_mapping(result, out)
         if namespace.command == "advise":
             return _run_advise(namespace, out)
+        if namespace.command == "lint":
+            return _run_lint(namespace, out)
         if namespace.command == "show":
             schema = _load(namespace.schema)
             renderer = render_dot if namespace.format == "dot" else render_ascii
@@ -355,6 +408,41 @@ def _run_advise(namespace: argparse.Namespace, out) -> int:
     else:
         print(report.render(namespace.top_k), file=out)
     return EXIT_OK if report.winner is not None else EXIT_MAPPING
+
+
+def _split_codes(text: str | None) -> tuple[str, ...]:
+    if text is None:
+        return ()
+    return tuple(
+        token.strip().upper() for token in text.split(",") if token.strip()
+    )
+
+
+def _run_lint(namespace: argparse.Namespace, out) -> int:
+    """The ``lint`` subcommand: 0 clean, 1 errors, 2 usage."""
+    source = namespace.schema.read_text()
+    schema = parse(source)
+    try:
+        report = lint_schema(
+            schema,
+            source=source,
+            dialect=namespace.dialect,
+            select=_split_codes(namespace.select),
+            ignore=_split_codes(namespace.ignore),
+        )
+    except ValueError as exc:
+        # Unknown --select/--ignore/pragma codes are usage errors,
+        # reported exactly like any other bad argument.
+        raise RidlError(str(exc)) from None
+    if namespace.format == "json":
+        out.write(render_json(report))
+    elif namespace.format == "sarif":
+        out.write(
+            render_sarif(report, artifact_uri=namespace.schema.as_posix())
+        )
+    else:
+        print(render_text(report), file=out)
+    return report.exit_code
 
 
 def _finish_mapping(result, out) -> int:

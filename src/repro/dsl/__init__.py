@@ -2,5 +2,14 @@
 
 from repro.dsl.lexer import Token, TokenKind, tokenize
 from repro.dsl.parser import parse, to_dsl
+from repro.dsl.pragmas import SuppressionPragmas, parse_pragmas
 
-__all__ = ["Token", "TokenKind", "parse", "to_dsl", "tokenize"]
+__all__ = [
+    "SuppressionPragmas",
+    "Token",
+    "TokenKind",
+    "parse",
+    "parse_pragmas",
+    "to_dsl",
+    "tokenize",
+]

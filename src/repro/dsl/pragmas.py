@@ -1,0 +1,92 @@
+"""Lint-suppression pragmas in DSL comments.
+
+The lexer throws comments away, so suppression pragmas are scanned
+from the raw source text before parsing.  Two scopes exist::
+
+    -- lint: disable=BRM009            (own line: file-wide)
+    nolot X under Y  -- lint: disable=BRM009   (trailing: this line)
+
+A file-wide pragma silences the listed codes everywhere.  A trailing
+pragma silences a finding only when the finding's subject names an
+identifier that appears on the pragma's line, which keeps the
+suppression anchored to the declaration it annotates.  ``#`` comments
+work identically to ``--`` comments, mirroring the lexer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_PRAGMA = re.compile(
+    r"(?:--|#)\s*lint:\s*disable=([A-Z0-9, ]+)", re.IGNORECASE
+)
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+@dataclass(frozen=True)
+class LinePragma:
+    """One trailing suppression: codes anchored to a line's names."""
+
+    line: int
+    codes: frozenset[str]
+    words: frozenset[str]
+
+
+@dataclass(frozen=True)
+class SuppressionPragmas:
+    """All ``lint: disable=`` pragmas of one DSL source file."""
+
+    file_codes: frozenset[str]
+    line_pragmas: tuple[LinePragma, ...]
+
+    @property
+    def codes(self) -> frozenset[str]:
+        """Every code mentioned by any pragma (for validation)."""
+        mentioned = set(self.file_codes)
+        for pragma in self.line_pragmas:
+            mentioned |= pragma.codes
+        return frozenset(mentioned)
+
+    def is_suppressed(self, code: str, subject: str) -> bool:
+        """True when a finding with this code/subject is silenced."""
+        if code in self.file_codes:
+            return True
+        subject_words = set(_WORD.findall(subject))
+        for pragma in self.line_pragmas:
+            if code in pragma.codes and subject_words & pragma.words:
+                return True
+        return False
+
+
+def parse_pragmas(source: str) -> SuppressionPragmas:
+    """Scan DSL source text for suppression pragmas."""
+    file_codes: set[str] = set()
+    line_pragmas: list[LinePragma] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            token.strip().upper()
+            for token in match.group(1).split(",")
+            if token.strip()
+        )
+        if not codes:
+            continue
+        if line.lstrip().startswith(("--", "#")):
+            # The whole line is a comment: file-wide suppression.
+            file_codes |= codes
+        else:
+            before = line[: match.start()]
+            line_pragmas.append(
+                LinePragma(
+                    line=line_number,
+                    codes=codes,
+                    words=frozenset(_WORD.findall(before)),
+                )
+            )
+    return SuppressionPragmas(
+        file_codes=frozenset(file_codes),
+        line_pragmas=tuple(line_pragmas),
+    )

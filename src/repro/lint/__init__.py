@@ -1,0 +1,38 @@
+"""``repro.lint`` — the static-diagnostics engine.
+
+A compiler-style lint framework over the three artifact classes the
+RIDL* pipeline produces: the binary conceptual schema (``BRM0xx``
+smells, porting RIDL-A's four analyses onto stable codes), the
+transformation trace (``TRC1xx`` losslessness checks), the generated
+DDL (``SQL2xx`` dialect checks) and the bidirectional map report
+(``MAP3xx`` cross-artifact checks).  See ``docs/LINTING.md`` for the
+rule catalogue and the suppression-pragma syntax.
+"""
+
+from repro.lint.diagnostics import LintDiagnostic, LintReport
+from repro.lint.engine import LintContext, lint_schema
+from repro.lint.registry import (
+    REGISTRY,
+    LintRule,
+    all_rules,
+    lint_rule,
+    resolve_selectors,
+)
+from repro.lint.render import render_json, render_sarif, render_text
+from repro.lint.rules_schema import LEGACY_CODES
+
+__all__ = [
+    "LEGACY_CODES",
+    "LintContext",
+    "LintDiagnostic",
+    "LintReport",
+    "LintRule",
+    "REGISTRY",
+    "all_rules",
+    "lint_rule",
+    "lint_schema",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "resolve_selectors",
+]

@@ -1,0 +1,116 @@
+"""The lint diagnostic type and the aggregated report.
+
+``repro lint`` is the static half of the paper's "computer-assisted
+engineering" story: RIDL-A's four analyses plus new passes over the
+transformation trace, the generated DDL and the bidirectional map
+report, all reporting through one compiler-style diagnostic record
+with a stable machine-readable code (``BRM0xx`` schema smells,
+``TRC1xx`` trace/losslessness checks, ``SQL2xx`` dialect checks,
+``MAP3xx`` cross-artifact checks).
+
+Severities reuse :class:`repro.analyzer.diagnostics.Severity` so the
+analyzer's findings port onto the lint report without translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.diagnostics import Severity
+
+#: Code-prefix -> the artifact class a rule family examines.
+ARTIFACTS = {
+    "BRM": "schema",
+    "TRC": "trace",
+    "SQL": "sql",
+    "MAP": "map",
+}
+
+
+@dataclass(frozen=True)
+class LintDiagnostic:
+    """One finding of the lint engine.
+
+    ``code`` is the stable rule code (``BRM009``), ``subject`` names
+    the artifact element concerned (an object type, a trace step, a
+    SQL identifier, a map-report entry) and ``message`` explains the
+    finding.  Instances sort by ``(code, subject, message)``, which is
+    the deterministic report order every renderer relies on.
+    """
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+
+    @property
+    def artifact(self) -> str:
+        """The artifact family the code belongs to (schema/trace/...)."""
+        return ARTIFACTS.get(self.code[:3], "schema")
+
+    def sort_key(self) -> tuple[str, str, str]:
+        """The deterministic report ordering."""
+        return (self.code, self.subject, self.message)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.severity.value}[{self.code}] "
+            f"{self.subject}: {self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    """Every finding of one lint run, in deterministic order.
+
+    ``suppressed`` counts findings removed by ``lint: disable=``
+    pragmas; ``skipped_artifacts`` names artifact families that could
+    not be produced (e.g. no trace when the schema is unmappable), so
+    a clean report can be told apart from an unexamined one.
+    """
+
+    schema_name: str
+    diagnostics: list[LintDiagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    skipped_artifacts: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.diagnostics.sort(key=LintDiagnostic.sort_key)
+
+    @property
+    def errors(self) -> list[LintDiagnostic]:
+        """Findings that make the lint run fail (exit code 1)."""
+        return [
+            d for d in self.diagnostics if d.severity is Severity.ERROR
+        ]
+
+    @property
+    def warnings(self) -> list[LintDiagnostic]:
+        """Review-worthy findings."""
+        return [
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        ]
+
+    @property
+    def infos(self) -> list[LintDiagnostic]:
+        """Informational findings."""
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no error-severity finding survived suppression."""
+        return not self.errors
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI exit code: 0 clean, 1 when errors remain."""
+        return 0 if self.is_clean else 1
+
+    def counts(self) -> dict[str, int]:
+        """Severity tallies (used by the renderers and tests)."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "suppressed": self.suppressed,
+        }

@@ -1,0 +1,109 @@
+"""The lint-rule registry.
+
+Every rule registers itself with a stable code, a kebab-case slug, a
+fixed severity and the artifact family it examines.  The registry is
+the single source of truth the engine, the CLI ``--select``/
+``--ignore`` validation, the SARIF ``rules`` array and the docs
+catalogue (``docs/LINTING.md``) all draw from; a meta-test asserts
+the four stay in sync.
+
+A rule's ``check`` callable receives the shared
+:class:`~repro.lint.engine.LintContext` and yields ``(subject,
+message)`` pairs; the engine stamps them with the rule's code and
+severity so a rule cannot mis-report itself.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.analyzer.diagnostics import Severity
+from repro.lint.diagnostics import ARTIFACTS
+
+#: code -> registered rule, in registration order.
+REGISTRY: dict[str, LintRule] = {}
+
+_CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3)\d\d$")
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered lint rule."""
+
+    code: str
+    slug: str
+    severity: Severity
+    artifact: str
+    summary: str
+    check: Callable[..., Iterable[tuple[str, str]]]
+
+
+def lint_rule(
+    code: str, slug: str, severity: Severity
+) -> Callable[[Callable], Callable]:
+    """Register a rule function under a stable code.
+
+    The decorated function must carry a docstring; its first line
+    becomes the rule summary shown by renderers and the docs table.
+    """
+
+    def register(fn: Callable) -> Callable:
+        if not _CODE_SHAPE.match(code):
+            raise ValueError(f"malformed lint code {code!r}")
+        if code in REGISTRY:
+            raise ValueError(f"duplicate lint code {code!r}")
+        if not fn.__doc__:
+            raise ValueError(f"lint rule {code} needs a docstring")
+        REGISTRY[code] = LintRule(
+            code=code,
+            slug=slug,
+            severity=severity,
+            artifact=ARTIFACTS[code[:3]],
+            summary=fn.__doc__.strip().splitlines()[0].rstrip("."),
+            check=fn,
+        )
+        return fn
+
+    return register
+
+
+def all_rules() -> tuple[LintRule, ...]:
+    """Every registered rule, ordered by code."""
+    _load_rule_modules()
+    return tuple(REGISTRY[code] for code in sorted(REGISTRY))
+
+
+def resolve_selectors(selectors: Iterable[str]) -> frozenset[str]:
+    """Expand exact codes and code prefixes into registered codes.
+
+    ``BRM009`` selects one rule; a prefix such as ``TRC`` or ``SQL2``
+    selects the family.  Unknown selectors raise ``ValueError`` (the
+    CLI turns that into a usage error, exit code 2).
+    """
+    _load_rule_modules()
+    resolved: set[str] = set()
+    for selector in selectors:
+        matches = {
+            code
+            for code in REGISTRY
+            if code == selector or code.startswith(selector)
+        }
+        if not matches:
+            known = ", ".join(sorted(REGISTRY))
+            raise ValueError(
+                f"unknown lint code {selector!r}; known codes: {known}"
+            )
+        resolved |= matches
+    return frozenset(resolved)
+
+
+def _load_rule_modules() -> None:
+    """Import every rule module once so the registry is complete."""
+    from repro.lint import (  # noqa: F401  (import-for-registration)
+        rules_map,
+        rules_schema,
+        rules_sql,
+        rules_trace,
+    )

@@ -1,0 +1,127 @@
+"""Renderers for lint reports: text, JSON, SARIF 2.1.0.
+
+All three formats are byte-deterministic: diagnostics are already in
+``(code, subject, message)`` order, JSON is emitted with sorted keys
+and no timestamps, and the SARIF run carries no environment-dependent
+fields.  The SARIF output targets CI annotation (GitHub code
+scanning, Azure DevOps) and embeds the rule metadata from the
+registry so viewers can show the catalogue entry next to a finding.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analyzer.diagnostics import Severity
+from repro.lint.diagnostics import LintReport
+from repro.lint.registry import all_rules
+
+#: SARIF result levels per severity (SARIF calls INFO "note").
+SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable report, one line per finding."""
+    lines = [f"repro lint report for schema {report.schema_name!r}"]
+    lines.extend(str(d) for d in report.diagnostics)
+    counts = report.counts()
+    summary = (
+        f"{counts['errors']} error(s), {counts['warnings']} warning(s), "
+        f"{counts['infos']} info(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if report.skipped_artifacts:
+        summary += (
+            "; skipped artifact pass(es): "
+            + ", ".join(report.skipped_artifacts)
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """A machine-readable JSON document (sorted keys, stable order)."""
+    document = {
+        "schema": report.schema_name,
+        "counts": report.counts(),
+        "skipped_artifacts": list(report.skipped_artifacts),
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": d.severity.value,
+                "subject": d.subject,
+                "message": d.message,
+            }
+            for d in report.diagnostics
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(report: LintReport, artifact_uri: str | None = None) -> str:
+    """A SARIF 2.1.0 log for CI annotation.
+
+    ``artifact_uri`` (the linted schema file, when known) becomes the
+    physical location of every result; the finding's subject is
+    always recorded as a logical location.
+    """
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.slug,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": SARIF_LEVELS[rule.severity]
+            },
+            "properties": {"artifact": rule.artifact},
+        }
+        for rule in all_rules()
+    ]
+    results = []
+    for diagnostic in report.diagnostics:
+        result = {
+            "ruleId": diagnostic.code,
+            "level": SARIF_LEVELS[diagnostic.severity],
+            "message": {
+                "text": f"{diagnostic.subject}: {diagnostic.message}"
+            },
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {"name": diagnostic.subject}
+                    ]
+                }
+            ],
+        }
+        if artifact_uri is not None:
+            result["locations"][0]["physicalLocation"] = {
+                "artifactLocation": {"uri": artifact_uri}
+            }
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

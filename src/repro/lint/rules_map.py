@@ -1,0 +1,132 @@
+"""``MAP3xx`` — cross-artifact checks over the map report.
+
+The map report is "essential for application programmers" (§4.3); a
+dangling reference in it sends a programmer to a table or column that
+does not exist.  These rules verify that every backwards-map entry
+resolves against the generated relational schema, that every
+forwards-map SELECT reads from real relations, and that the
+provenance discipline is complete (every relation derived from
+something, every non-key constraint documented).
+"""
+
+from __future__ import annotations
+
+from repro.analyzer.diagnostics import Severity
+from repro.lint.registry import lint_rule
+from repro.mapper.mapreport import select_from_targets
+from repro.relational.constraints import CandidateKey, PrimaryKey
+
+
+@lint_rule("MAP301", "dangling-table-ref", Severity.ERROR)
+def check_dangling_table_ref(context):
+    """A backwards-map table entry names a missing relation.
+
+    Every key of the provenance table map must be a relation of the
+    generated schema; otherwise the report documents a table the DDL
+    never creates.
+    """
+    result = context.result
+    for name in result.provenance.tables:
+        if not result.relational.has_relation(name):
+            yield name, (
+                "backwards map documents a table that is not in the "
+                "generated relational schema"
+            )
+
+
+@lint_rule("MAP302", "dangling-column-ref", Severity.ERROR)
+def check_dangling_column_ref(context):
+    """A backwards-map column entry names a missing column.
+
+    Column provenance is keyed by ``(relation, column)``; both halves
+    must resolve in the generated schema.
+    """
+    result = context.result
+    for relation_name, column in result.provenance.columns:
+        if not result.relational.has_relation(relation_name):
+            yield f"{relation_name}.{column}", (
+                "backwards map documents a column of a table that is "
+                "not in the generated relational schema"
+            )
+        elif not result.relational.relation(relation_name).has_attribute(
+            column
+        ):
+            yield f"{relation_name}.{column}", (
+                "backwards map documents a column the generated "
+                "relation does not have"
+            )
+
+
+@lint_rule("MAP303", "dangling-constraint-ref", Severity.ERROR)
+def check_dangling_constraint_ref(context):
+    """A backwards-map constraint entry names a missing constraint.
+
+    Constraint provenance must point at constraints of the generated
+    schema or at pseudo-constraint specifications.
+    """
+    result = context.result
+    pseudo_names = {p.name for p in result.pseudo_constraints}
+    for name in result.provenance.constraints:
+        if result.relational.has_constraint(name):
+            continue
+        if name in pseudo_names:
+            continue
+        yield name, (
+            "backwards map documents a constraint that is in neither "
+            "the generated schema nor the pseudo constraints"
+        )
+
+
+@lint_rule("MAP304", "unresolved-forward-select", Severity.ERROR)
+def check_unresolved_forward_select(context):
+    """A forwards-map SELECT reads from a missing relation.
+
+    The forwards map is what programmers paste into queries; a
+    ``FROM`` target that is not a generated relation makes the entry
+    unusable.
+    """
+    result = context.result
+    for concept, text in result.provenance.forward:
+        for target in select_from_targets(text):
+            if not result.relational.has_relation(target):
+                yield concept, (
+                    f"forwards-map SELECT reads FROM {target!r}, "
+                    "which is not a generated relation"
+                )
+
+
+@lint_rule("MAP305", "undocumented-relation", Severity.WARNING)
+def check_undocumented_relation(context):
+    """A generated relation has no backwards-map derivation.
+
+    Every table must say which BRM concepts it derives from — the
+    documentation discipline the paper insists on ("problems are due
+    to undocumented decisions").
+    """
+    result = context.result
+    for relation in result.relational.relations:
+        if not result.provenance.tables.get(relation.name):
+            yield relation.name, (
+                "relation has no DERIVED FROM entry in the backwards "
+                "map"
+            )
+
+
+@lint_rule("MAP306", "undocumented-constraint", Severity.WARNING)
+def check_undocumented_constraint(context):
+    """A non-key constraint has no backwards-map derivation.
+
+    Key constraints of fact-born relations are structural and carry
+    no single deriving concept, but every other constraint (foreign
+    key, check, view constraint) encodes a specific binary-schema
+    decision and must be documented.
+    """
+    result = context.result
+    for constraint in result.relational.constraints:
+        if isinstance(constraint, (PrimaryKey, CandidateKey)):
+            continue
+        if not result.provenance.constraints.get(constraint.name):
+            yield constraint.name, (
+                "constraint has no DERIVED FROM entry in the "
+                "backwards map"
+            )

@@ -37,7 +37,7 @@ from __future__ import annotations
 import json
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.brm.schema import BinarySchema
 from repro.engine.cost import CostModel

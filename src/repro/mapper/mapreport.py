@@ -15,9 +15,26 @@ results back in conceptual terms.
 
 from __future__ import annotations
 
+import re
+
 from repro.sql.pseudo import render_constraint
 
 _RULE = "-" * 68
+
+_FROM_TARGET = re.compile(r"\bFROM\s+([A-Za-z_][A-Za-z0-9_$]*)")
+
+
+def select_from_targets(mapping_text: str) -> tuple[str, ...]:
+    """Relation names a forwards-map SELECT expression reads from.
+
+    Only texts that *are* SELECT expressions are parsed; prose
+    entries (e.g. exclusion-constraint pseudo specifications) mention
+    ``FROM NOLOT ...`` in free text and carry no resolvable relation
+    references.  Used by the cross-artifact lint pass.
+    """
+    if not mapping_text.lstrip().upper().startswith("SELECT"):
+        return ()
+    return tuple(_FROM_TARGET.findall(mapping_text))
 
 
 def render_forwards_map(result) -> str:

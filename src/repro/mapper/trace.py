@@ -17,6 +17,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The three basic transformation classes of section 5.
+KIND_BINARY = "binary-binary"
+KIND_BINARY_RELATIONAL = "binary-relational"
+KIND_RELATIONAL = "relational-relational"
+STEP_KINDS = frozenset(
+    (KIND_BINARY, KIND_BINARY_RELATIONAL, KIND_RELATIONAL)
+)
+
 
 @dataclass(frozen=True)
 class AppliedStep:
@@ -92,3 +100,24 @@ class Provenance:
         """Record how a BRM concept is expressed over the relational
         schema (one entry of the forwards map)."""
         self.forward.append((concept, mapping_text))
+
+    def forward_concepts(self) -> frozenset[str]:
+        """All BRM concept descriptions the forwards map covers."""
+        return frozenset(concept for concept, _ in self.forward)
+
+    def backward_names(self) -> dict[str, frozenset[str]]:
+        """Relational names each backwards-map section mentions.
+
+        Keys ``tables``/``columns``/``constraints``/``domains``; used
+        by the cross-artifact lint pass to verify that every recorded
+        reference resolves against the generated schema.
+        """
+        return {
+            "tables": frozenset(self.tables),
+            "columns": frozenset(
+                f"{relation}.{column}"
+                for relation, column in self.columns
+            ),
+            "constraints": frozenset(self.constraints),
+            "domains": frozenset(self.domains),
+        }

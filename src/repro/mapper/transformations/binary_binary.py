@@ -345,7 +345,14 @@ def eliminate_sublink(state: MappingState, sublink_name: str) -> None:
         f"SUBOT & SUPOT TOGETHER: roles of {subtype!r} re-played by "
         f"{supertype!r}"
         + (f", membership anchored on {anchor}" if anchor else
-           ", membership via indicator fact"),
+           ", membership via indicator fact")
+        + (
+            ", folded total constraint(s) "
+            + ", ".join(dropped_totals)
+            + " into the membership anchor"
+            if dropped_totals
+            else ""
+        ),
         tuple(lossless),
     )
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.brm.population import Population
 from repro.engine.database import Database
-from repro.errors import MappingError, PopulationError
+from repro.errors import MappingError
 from repro.mapper.result import MappingResult
 
 

@@ -22,12 +22,26 @@ from __future__ import annotations
 from repro.brm.datatypes import DataTypeKind
 from repro.sql.emitter import DialectProfile
 
+#: Keywords every 1989-era SQL implementation reserves; the lint pass
+#: flags generated identifiers that collide with them (``SQL204``).
+CORE_RESERVED_WORDS = frozenset(
+    """
+    ALL ALTER AND ANY AS ASC BETWEEN BY CHAR CHECK CREATE DATE
+    DECIMAL DEFAULT DELETE DESC DISTINCT DROP EXISTS FLOAT FOREIGN
+    FROM GRANT GROUP HAVING IN INDEX INSERT INTEGER INTO IS KEY LIKE
+    NOT NULL NUMERIC ON OR ORDER PRIMARY REFERENCES REVOKE SELECT
+    SET SMALLINT TABLE UNION UNIQUE UPDATE VALUES VIEW WHERE
+    """.split()
+)
+
 SQL2 = DialectProfile(
     name="SQL2 (draft, ANSI X3H2-88-72)",
     supports_domains=True,
     supports_named_constraints=True,
     supports_check=True,
     supports_foreign_keys=True,
+    max_identifier_length=128,
+    reserved_words=CORE_RESERVED_WORDS | frozenset(("DOMAIN", "USER")),
 )
 
 ORACLE = DialectProfile(
@@ -44,6 +58,9 @@ ORACLE = DialectProfile(
         (DataTypeKind.BOOLEAN, "CHAR(1)"),
         (DataTypeKind.VARCHAR, "VARCHAR2"),
     ),
+    max_identifier_length=30,
+    reserved_words=CORE_RESERVED_WORDS
+    | frozenset(("LEVEL", "MODE", "ROWID", "SESSION", "SYSDATE", "USER")),
 )
 
 INGRES = DialectProfile(
@@ -58,6 +75,8 @@ INGRES = DialectProfile(
         (DataTypeKind.REAL, "FLOAT8"),
         (DataTypeKind.DATE, "DATE"),
     ),
+    max_identifier_length=24,
+    reserved_words=CORE_RESERVED_WORDS | frozenset(("COPY", "SAVEPOINT")),
 )
 
 SYBASE = DialectProfile(
@@ -72,6 +91,9 @@ SYBASE = DialectProfile(
         (DataTypeKind.REAL, "FLOAT"),
         (DataTypeKind.DATE, "DATETIME"),
     ),
+    max_identifier_length=30,
+    reserved_words=CORE_RESERVED_WORDS
+    | frozenset(("DUMP", "PROC", "USER")),
 )
 
 DB2 = DialectProfile(
@@ -85,6 +107,8 @@ DB2 = DialectProfile(
         (DataTypeKind.BOOLEAN, "CHAR(1)"),
         (DataTypeKind.REAL, "DOUBLE"),
     ),
+    max_identifier_length=18,
+    reserved_words=CORE_RESERVED_WORDS | frozenset(("PLAN", "USER")),
 )
 
 PROFILES: dict[str, DialectProfile] = {

@@ -1,0 +1,26 @@
+"""Shared fixtures for the lint suite."""
+
+import pytest
+
+from repro.cris import cris_schema, figure6_schema
+from repro.mapper import MappingOptions, map_schema
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    return figure6_schema()
+
+
+@pytest.fixture(scope="session")
+def fig6_result(fig6):
+    return map_schema(fig6, MappingOptions())
+
+
+@pytest.fixture(scope="session")
+def cris():
+    return cris_schema()
+
+
+@pytest.fixture(scope="session")
+def cris_result(cris):
+    return map_schema(cris, MappingOptions())

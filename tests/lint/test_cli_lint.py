@@ -1,0 +1,161 @@
+"""The ``repro lint`` subcommand: exit codes, formats, selection."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import EXIT_UNMAPPABLE, EXIT_OK, EXIT_USAGE, main
+from repro.cris import figure6_schema
+from repro.dsl import to_dsl
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "figure6.ridl"
+    path.write_text(to_dsl(figure6_schema()))
+    return path
+
+
+@pytest.fixture
+def smelly_schema_file(tmp_path):
+    """Unreferable NOLOT: analyzer errors, unmappable."""
+    path = tmp_path / "bad.ridl"
+    path.write_text(
+        "schema Bad\nnolot Ghost\nlot K : char(3)\n"
+        "attribute Ghost has K\n"
+    )
+    return path
+
+
+class TestExitCodes:
+    def test_clean_schema_exits_0(self, schema_file):
+        code, output = run(["lint", str(schema_file)])
+        assert code == EXIT_OK
+        assert "0 error(s)" in output
+
+    def test_error_findings_exit_1(self, smelly_schema_file):
+        code, output = run(["lint", str(smelly_schema_file)])
+        assert code == EXIT_UNMAPPABLE
+        assert "error[" in output
+        assert "skipped artifact pass(es)" in output
+
+    def test_unknown_select_code_exits_2(self, schema_file):
+        code, output = run(["lint", str(schema_file), "--select", "BOGUS"])
+        assert code == EXIT_USAGE
+        assert output.startswith("error:")
+        assert "unknown lint code" in output
+        assert len(output.strip().splitlines()) == 1
+
+    def test_unknown_format_exits_2(self, schema_file):
+        code, output = run(
+            ["lint", str(schema_file), "--format", "xml"]
+        )
+        assert code == EXIT_USAGE
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+
+    def test_missing_file_exits_2(self):
+        code, _ = run(["lint", "no_such_file.ridl"])
+        assert code == EXIT_USAGE
+
+    def test_parse_error_exits_2(self, tmp_path):
+        path = tmp_path / "syntax.ridl"
+        path.write_text("widget Nope\n")
+        code, output = run(["lint", str(path)])
+        assert code == EXIT_USAGE
+        assert "error:" in output
+
+
+class TestSelection:
+    def test_select_restricts_to_a_family(self, schema_file):
+        code, output = run(
+            ["lint", str(schema_file), "--select", "SQL", "--format", "json"]
+        )
+        assert code == EXIT_OK
+        document = json.loads(output)
+        assert all(
+            d["code"].startswith("SQL") for d in document["diagnostics"]
+        )
+
+    def test_ignore_drops_a_code(self, schema_file):
+        _, with_009 = run(["lint", str(schema_file), "--format", "json"])
+        _, without = run(
+            ["lint", str(schema_file), "--ignore", "BRM009", "--format", "json"]
+        )
+        codes_before = {
+            d["code"] for d in json.loads(with_009)["diagnostics"]
+        }
+        codes_after = {
+            d["code"] for d in json.loads(without)["diagnostics"]
+        }
+        assert "BRM009" in codes_before
+        assert "BRM009" not in codes_after
+
+    def test_dialect_switches_the_profile(self, tmp_path):
+        from repro.cris import cris_schema
+
+        path = tmp_path / "cris.ridl"
+        path.write_text(to_dsl(cris_schema()))
+        _, sql2_out = run(
+            ["lint", str(path), "--select", "SQL204", "--format", "json"]
+        )
+        _, oracle_out = run(
+            [
+                "lint",
+                str(path),
+                "--select",
+                "SQL204",
+                "--dialect",
+                "oracle",
+                "--format",
+                "json",
+            ]
+        )
+        assert json.loads(sql2_out)["diagnostics"] == []
+        oracle_codes = [
+            d["subject"] for d in json.loads(oracle_out)["diagnostics"]
+        ]
+        assert oracle_codes == ["Session"]
+
+
+class TestFormats:
+    def test_json_format(self, schema_file):
+        code, output = run(["lint", str(schema_file), "--format", "json"])
+        assert code == EXIT_OK
+        document = json.loads(output)
+        assert set(document) == {
+            "schema",
+            "counts",
+            "diagnostics",
+            "skipped_artifacts",
+        }
+
+    def test_sarif_format_embeds_the_schema_path(self, schema_file):
+        code, output = run(["lint", str(schema_file), "--format", "sarif"])
+        assert code == EXIT_OK
+        document = json.loads(output)
+        assert document["version"] == "2.1.0"
+        uris = {
+            result["locations"][0]["physicalLocation"]["artifactLocation"][
+                "uri"
+            ]
+            for result in document["runs"][0]["results"]
+        }
+        assert uris == {schema_file.as_posix()}
+
+    def test_pragmas_in_the_file_are_honoured(self, tmp_path):
+        path = tmp_path / "fig6.ridl"
+        path.write_text(
+            to_dsl(figure6_schema()) + "\n-- lint: disable=BRM009\n"
+        )
+        code, output = run(["lint", str(path)])
+        assert code == EXIT_OK
+        assert "BRM009" not in output
+        assert "suppressed" in output

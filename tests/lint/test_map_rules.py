@@ -1,0 +1,154 @@
+"""``MAP3xx`` — cross-artifact checks over the map report."""
+
+import copy
+from dataclasses import replace
+
+from repro.lint import lint_schema
+from repro.relational.schema import Attribute, Relation
+
+
+def with_provenance(result, mutate):
+    provenance = copy.deepcopy(result.provenance)
+    mutate(provenance)
+    return replace(result, provenance=provenance)
+
+
+def diagnostics(schema, result, code):
+    report = lint_schema(schema, result=result, select=[code])
+    return report.diagnostics
+
+
+class TestBackwardsMapResolution:
+    def test_clean_mappings_have_no_map_findings(
+        self, fig6, fig6_result, cris, cris_result
+    ):
+        for schema, result in ((fig6, fig6_result), (cris, cris_result)):
+            report = lint_schema(schema, result=result, select=["MAP"])
+            assert report.diagnostics == []
+
+    def test_dangling_table_ref(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_table("Ghost_Table", "NOLOT Ghost"),
+        )
+        found = diagnostics(fig6, doctored, "MAP301")
+        assert [d.subject for d in found] == ["Ghost_Table"]
+        assert found[0].severity.value == "error"
+
+    def test_dangling_column_ref_missing_relation(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_column("Ghost_Table", "col", "role x"),
+        )
+        found = diagnostics(fig6, doctored, "MAP302")
+        assert [d.subject for d in found] == ["Ghost_Table.col"]
+
+    def test_dangling_column_ref_missing_column(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_column("Paper", "no_such_col", "role x"),
+        )
+        found = diagnostics(fig6, doctored, "MAP302")
+        assert [d.subject for d in found] == ["Paper.no_such_col"]
+
+    def test_dangling_constraint_ref(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_constraint("C_GHOST", "constraint X"),
+        )
+        found = diagnostics(fig6, doctored, "MAP303")
+        assert [d.subject for d in found] == ["C_GHOST"]
+
+    def test_pseudo_constraint_refs_are_resolvable(self):
+        """A cross-relation exclusion degrades to pseudo-SQL; its
+        provenance entry must count as resolved."""
+        from repro.brm import SchemaBuilder, char, numeric
+        from repro.mapper import MappingOptions, NullPolicy, map_schema
+
+        b = SchemaBuilder("s")
+        b.nolot("Paper").lot("Paper_Id", char(6))
+        b.identifier("Paper", "Paper_Id")
+        b.lot_nolot("Person", char(30)).lot_nolot("Session", numeric(3))
+        b.attribute("Paper", "Person", fact="by")
+        b.attribute("Paper", "Session", fact="during")
+        b.exclusion(("by", "with"), ("during", "with"))
+        schema = b.build()
+        result = map_schema(
+            schema, MappingOptions(null_policy=NullPolicy.NOT_ALLOWED)
+        )
+        assert result.pseudo_constraints
+        assert diagnostics(schema, result, "MAP303") == []
+
+
+class TestForwardsMapResolution:
+    def test_unresolved_forward_select(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_forward(
+                "NOLOT Ghost", "SELECT x FROM Ghost_Table"
+            ),
+        )
+        found = diagnostics(fig6, doctored, "MAP304")
+        assert [d.subject for d in found] == ["NOLOT Ghost"]
+        assert "Ghost_Table" in found[0].message
+
+    def test_non_select_forward_text_is_ignored(self, fig6, fig6_result):
+        doctored = with_provenance(
+            fig6_result,
+            lambda p: p.add_forward(
+                "LOT Title", "column Title of table Ghost_Table"
+            ),
+        )
+        assert diagnostics(fig6, doctored, "MAP304") == []
+
+
+class TestDocumentationDiscipline:
+    def test_undocumented_relation(self, fig6, fig6_result):
+        relational = fig6_result.relational.copy()
+        domain = relational.domains[0].name
+        relational.add_relation(
+            Relation("Stray", (Attribute("x", domain),))
+        )
+        doctored = replace(fig6_result, relational=relational)
+        found = diagnostics(fig6, doctored, "MAP305")
+        assert [d.subject for d in found] == ["Stray"]
+        assert found[0].severity.value == "warning"
+
+    def test_undocumented_constraint(self, fig6, fig6_result):
+        from repro.relational.constraints import CandidateKey, PrimaryKey
+
+        relational = fig6_result.relational
+        non_key = [
+            name
+            for name in fig6_result.provenance.constraints
+            if relational.has_constraint(name)
+            and not isinstance(
+                relational.constraint(name), (PrimaryKey, CandidateKey)
+            )
+        ]
+        assert non_key, "fig6 should document at least one non-key constraint"
+
+        def forget(provenance):
+            del provenance.constraints[non_key[0]]
+            forget.victim = non_key[0]
+
+        doctored = with_provenance(fig6_result, forget)
+        found = diagnostics(fig6, doctored, "MAP306")
+        assert [d.subject for d in found] == [forget.victim]
+
+    def test_key_constraints_need_no_derivation(self, fig6, fig6_result):
+        """Primary/candidate keys are exempt from MAP306."""
+        from repro.relational.constraints import CandidateKey, PrimaryKey
+
+        keys = [
+            c
+            for c in fig6_result.relational.constraints
+            if isinstance(c, (PrimaryKey, CandidateKey))
+        ]
+        assert keys
+        documented = set(fig6_result.provenance.constraints)
+        undocumented_keys = [
+            c.name for c in keys if c.name not in documented
+        ]
+        if undocumented_keys:
+            assert diagnostics(fig6, fig6_result, "MAP306") == []

@@ -1,0 +1,80 @@
+"""Diagnostic-code hygiene: the registry meta-test.
+
+Every registered rule must carry a unique well-formed code, a
+docstring-derived summary, a severity, and a row in the rule
+catalogue of ``docs/LINTING.md`` — an undocumented rule fails here.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analyzer.diagnostics import Severity
+from repro.lint import REGISTRY, all_rules, resolve_selectors
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
+
+CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3)\d\d$")
+SLUG_SHAPE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
+
+
+def test_registry_is_populated():
+    assert len(all_rules()) >= 25
+
+
+def test_codes_are_unique_and_well_formed():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert len(set(codes)) == len(codes)
+    for rule in rules:
+        assert CODE_SHAPE.match(rule.code), rule.code
+
+
+def test_every_rule_has_slug_severity_summary_and_docstring():
+    for rule in all_rules():
+        assert SLUG_SHAPE.match(rule.slug), rule.code
+        assert isinstance(rule.severity, Severity), rule.code
+        assert rule.summary.strip(), rule.code
+        assert rule.check.__doc__ and rule.check.__doc__.strip(), rule.code
+
+
+def test_slugs_are_unique():
+    slugs = [rule.slug for rule in all_rules()]
+    assert len(set(slugs)) == len(slugs)
+
+
+def test_artifact_matches_code_prefix():
+    families = {"BRM": "schema", "TRC": "trace", "SQL": "sql", "MAP": "map"}
+    for rule in all_rules():
+        assert rule.artifact == families[rule.code[:3]], rule.code
+
+
+def test_every_rule_is_documented_in_the_catalogue():
+    table = DOCS.read_text()
+    undocumented = [
+        rule.code
+        for rule in all_rules()
+        if f"| {rule.code} " not in table
+    ]
+    assert not undocumented, (
+        f"rules missing from docs/LINTING.md: {undocumented}"
+    )
+
+
+def test_docs_table_rows_match_registry_metadata():
+    text = DOCS.read_text()
+    for rule in all_rules():
+        row = next(
+            line for line in text.splitlines() if f"| {rule.code} " in line
+        )
+        assert rule.slug in row, rule.code
+        assert rule.severity.value in row, rule.code
+
+
+def test_selector_resolution_expands_prefixes():
+    assert resolve_selectors(["BRM009"]) == frozenset({"BRM009"})
+    family = resolve_selectors(["TRC"])
+    assert family == {c for c in REGISTRY if c.startswith("TRC")}
+    with pytest.raises(ValueError, match="unknown lint code"):
+        resolve_selectors(["XYZ999"])

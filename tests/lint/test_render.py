@@ -1,0 +1,130 @@
+"""The three renderers: text, JSON, SARIF 2.1.0.
+
+The ISSUE's determinism bar: all three formats must be byte-for-byte
+identical across runs on the same input.  The SARIF output must be
+structurally valid 2.1.0 — checked here against the spec's required
+shape (the full JSON schema is validated in CI where ``jsonschema``
+is installed).
+"""
+
+import json
+
+from repro.lint import lint_schema, render_json, render_sarif, render_text
+from repro.lint.render import SARIF_LEVELS, SARIF_SCHEMA_URI
+from repro.lint.registry import all_rules
+
+
+def fresh_report(fig6, fig6_result):
+    return lint_schema(fig6, result=fig6_result)
+
+
+class TestDeterminism:
+    def test_all_formats_are_byte_deterministic(self, fig6, fig6_result):
+        first = lint_schema(fig6, result=fig6_result)
+        second = lint_schema(fig6, result=fig6_result)
+        assert render_text(first) == render_text(second)
+        assert render_json(first) == render_json(second)
+        assert render_sarif(first, artifact_uri="fig6.ridl") == render_sarif(
+            second, artifact_uri="fig6.ridl"
+        )
+
+    def test_diagnostics_are_sorted_by_code_then_subject(
+        self, fig6, fig6_result
+    ):
+        report = lint_schema(fig6, result=fig6_result)
+        keys = [d.sort_key() for d in report.diagnostics]
+        assert keys == sorted(keys)
+
+
+class TestTextFormat:
+    def test_header_findings_and_summary(self, fig6, fig6_result):
+        text = render_text(fresh_report(fig6, fig6_result))
+        lines = text.splitlines()
+        assert lines[0] == "repro lint report for schema 'figure6'"
+        assert any("BRM009" in line for line in lines)
+        assert "error(s)" in lines[-1] and "warning(s)" in lines[-1]
+
+    def test_line_format_is_severity_code_subject_message(
+        self, fig6, fig6_result
+    ):
+        report = fresh_report(fig6, fig6_result)
+        diagnostic = report.diagnostics[0]
+        assert str(diagnostic) == (
+            f"{diagnostic.severity.value}[{diagnostic.code}] "
+            f"{diagnostic.subject}: {diagnostic.message}"
+        )
+
+
+class TestJsonFormat:
+    def test_round_trips_and_carries_counts(self, fig6, fig6_result):
+        report = fresh_report(fig6, fig6_result)
+        document = json.loads(render_json(report))
+        assert document["schema"] == "figure6"
+        assert document["counts"] == report.counts()
+        assert len(document["diagnostics"]) == len(report.diagnostics)
+        for entry, diagnostic in zip(
+            document["diagnostics"], report.diagnostics
+        ):
+            assert entry["code"] == diagnostic.code
+            assert entry["severity"] == diagnostic.severity.value
+            assert entry["subject"] == diagnostic.subject
+            assert entry["message"] == diagnostic.message
+
+
+class TestSarifFormat:
+    def test_required_2_1_0_shape(self, fig6, fig6_result):
+        report = fresh_report(fig6, fig6_result)
+        document = json.loads(render_sarif(report))
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert document["version"] == "2.1.0"
+        assert len(document["runs"]) == 1
+        run = document["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert len(driver["rules"]) == len(all_rules())
+
+    def test_rules_metadata_mirrors_the_registry(self, fig6, fig6_result):
+        document = json.loads(render_sarif(fresh_report(fig6, fig6_result)))
+        rules = {
+            r["id"]: r for r in document["runs"][0]["tool"]["driver"]["rules"]
+        }
+        for rule in all_rules():
+            entry = rules[rule.code]
+            assert entry["name"] == rule.slug
+            assert entry["shortDescription"]["text"] == rule.summary
+            assert entry["defaultConfiguration"]["level"] == SARIF_LEVELS[
+                rule.severity
+            ]
+            assert entry["properties"]["artifact"] == rule.artifact
+
+    def test_results_reference_registered_rules(self, fig6, fig6_result):
+        report = fresh_report(fig6, fig6_result)
+        document = json.loads(render_sarif(report))
+        run = document["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert len(run["results"]) == len(report.diagnostics)
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            logical = result["locations"][0]["logicalLocations"][0]
+            assert logical["name"]
+
+    def test_artifact_uri_becomes_the_physical_location(
+        self, fig6, fig6_result
+    ):
+        report = fresh_report(fig6, fig6_result)
+        document = json.loads(
+            render_sarif(report, artifact_uri="examples/fig6.ridl")
+        )
+        for result in document["runs"][0]["results"]:
+            physical = result["locations"][0]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == (
+                "examples/fig6.ridl"
+            )
+
+    def test_no_physical_location_without_a_uri(self, fig6, fig6_result):
+        report = fresh_report(fig6, fig6_result)
+        document = json.loads(render_sarif(report))
+        for result in document["runs"][0]["results"]:
+            assert "physicalLocation" not in result["locations"][0]

@@ -1,0 +1,83 @@
+"""``SQL2xx`` — dialect and DDL identifier checks."""
+
+from dataclasses import replace
+
+from repro.lint import lint_schema
+from repro.lint.rules_sql import IDENTIFIER
+from repro.relational.schema import Attribute, Relation
+
+
+def doctored(result, relation_name, column="x"):
+    relational = result.relational.copy()
+    domain = relational.domains[0].name
+    relational.add_relation(
+        Relation(relation_name, (Attribute(column, domain),))
+    )
+    return replace(result, relational=relational)
+
+
+class TestIdentifierShape:
+    def test_identifier_pattern_matches_1989_dialect_rules(self):
+        assert IDENTIFIER.match("Paper_Id")
+        assert IDENTIFIER.match("C_SUB$1")
+        assert not IDENTIFIER.match("2Paper")
+        assert not IDENTIFIER.match("has space")
+
+    def test_clean_mappings_produce_legal_identifiers(
+        self, fig6, fig6_result, cris, cris_result
+    ):
+        for schema, result in ((fig6, fig6_result), (cris, cris_result)):
+            report = lint_schema(
+                schema, result=result, select=["SQL201", "SQL202"]
+            )
+            assert report.diagnostics == []
+
+    def test_invalid_identifier_is_an_error(self, fig6, fig6_result):
+        report = lint_schema(
+            fig6,
+            result=doctored(fig6_result, "2Papers"),
+            select=["SQL201"],
+        )
+        assert [d.subject for d in report.diagnostics] == ["2Papers"]
+        assert report.exit_code == 1
+
+    def test_case_insensitive_collision_is_an_error(self, fig6, fig6_result):
+        report = lint_schema(
+            fig6,
+            result=doctored(fig6_result, "PAPER"),
+            select=["SQL202"],
+        )
+        assert len(report.diagnostics) == 1
+        assert "Paper" in report.diagnostics[0].message
+
+
+class TestDialectLimits:
+    def test_db2_18_char_limit_flags_long_cris_columns(
+        self, cris, cris_result
+    ):
+        report = lint_schema(
+            cris, result=cris_result, dialect="db2", select=["SQL203"]
+        )
+        subjects = {d.subject for d in report.diagnostics}
+        assert "Paper_Id_refereed_by" in subjects
+        for diagnostic in report.diagnostics:
+            assert len(diagnostic.subject) > 18
+            assert diagnostic.severity.value == "warning"
+
+    def test_sql2_128_char_limit_is_never_hit(self, cris, cris_result):
+        report = lint_schema(
+            cris, result=cris_result, dialect="sql2", select=["SQL203"]
+        )
+        assert report.diagnostics == []
+
+    def test_oracle_reserved_word_session_is_flagged(self, cris, cris_result):
+        report = lint_schema(
+            cris, result=cris_result, dialect="oracle", select=["SQL204"]
+        )
+        assert [d.subject for d in report.diagnostics] == ["Session"]
+
+    def test_session_is_not_reserved_in_sql2(self, cris, cris_result):
+        report = lint_schema(
+            cris, result=cris_result, dialect="sql2", select=["SQL204"]
+        )
+        assert report.diagnostics == []

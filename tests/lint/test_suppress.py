@@ -1,0 +1,90 @@
+"""``-- lint: disable=CODE`` suppression pragmas."""
+
+import pytest
+
+from repro.dsl import parse_pragmas, to_dsl
+from repro.lint import lint_schema
+
+
+class TestPragmaParsing:
+    def test_comment_only_line_is_file_wide(self):
+        pragmas = parse_pragmas("-- lint: disable=BRM009\nnolot X\n")
+        assert pragmas.file_codes == {"BRM009"}
+        assert pragmas.line_pragmas == ()
+
+    def test_hash_comments_work_like_dash_comments(self):
+        pragmas = parse_pragmas("# lint: disable=BRM009, SQL204\n")
+        assert pragmas.file_codes == {"BRM009", "SQL204"}
+
+    def test_trailing_pragma_anchors_to_the_lines_names(self):
+        source = "nolot Invited_Paper under Paper  -- lint: disable=BRM009\n"
+        pragmas = parse_pragmas(source)
+        assert pragmas.file_codes == frozenset()
+        (pragma,) = pragmas.line_pragmas
+        assert pragma.line == 1
+        assert pragma.codes == {"BRM009"}
+        assert {"Invited_Paper", "Paper"} <= pragma.words
+
+    def test_commented_prose_before_pragma_stays_file_wide(self):
+        source = "-- per the paper, fine -- lint: disable=BRM009\n"
+        pragmas = parse_pragmas(source)
+        assert pragmas.file_codes == {"BRM009"}
+        assert pragmas.line_pragmas == ()
+
+    def test_codes_are_case_insensitive_and_comma_separated(self):
+        pragmas = parse_pragmas("-- lint: disable=brm009,trc101\n")
+        assert pragmas.file_codes == {"BRM009", "TRC101"}
+
+    def test_no_pragmas_means_nothing_suppressed(self):
+        pragmas = parse_pragmas("nolot X\nlot K : char(3)\n")
+        assert not pragmas.is_suppressed("BRM009", "X")
+
+
+class TestSuppressionSemantics:
+    def test_file_pragma_suppresses_any_subject(self):
+        pragmas = parse_pragmas("-- lint: disable=BRM009\n")
+        assert pragmas.is_suppressed("BRM009", "Anything")
+        assert not pragmas.is_suppressed("BRM010", "Anything")
+
+    def test_line_pragma_suppresses_only_its_names(self):
+        source = "nolot Invited_Paper under Paper -- lint: disable=BRM009\n"
+        pragmas = parse_pragmas(source)
+        assert pragmas.is_suppressed("BRM009", "Invited_Paper")
+        assert not pragmas.is_suppressed("BRM009", "Program_Paper")
+        assert not pragmas.is_suppressed("BRM010", "Invited_Paper")
+
+
+class TestLintIntegration:
+    def test_file_pragma_suppresses_and_is_counted(self, fig6, fig6_result):
+        source = to_dsl(fig6) + "\n-- lint: disable=BRM009\n"
+        report = lint_schema(fig6, result=fig6_result, source=source)
+        assert "BRM009" not in {d.code for d in report.diagnostics}
+        assert report.suppressed >= 1
+
+    def test_trailing_pragma_suppresses_the_annotated_subtype(
+        self, fig6, fig6_result
+    ):
+        lines = to_dsl(fig6).splitlines()
+        annotated = [
+            line + "  -- lint: disable=BRM009"
+            if line.split() and "Invited_Paper" in line.split()
+            else line
+            for line in lines
+        ]
+        source = "\n".join(annotated) + "\n"
+        assert source != to_dsl(fig6) + "\n"
+        report = lint_schema(fig6, result=fig6_result, source=source)
+        assert "BRM009" not in {d.code for d in report.diagnostics}
+        assert report.suppressed >= 1
+
+    def test_unsuppressed_source_reports_brm009(self, fig6, fig6_result):
+        report = lint_schema(
+            fig6, result=fig6_result, source=to_dsl(fig6)
+        )
+        assert "BRM009" in {d.code for d in report.diagnostics}
+        assert report.suppressed == 0
+
+    def test_unknown_pragma_code_is_rejected(self, fig6, fig6_result):
+        source = to_dsl(fig6) + "\n-- lint: disable=XYZ999\n"
+        with pytest.raises(ValueError, match="unknown lint code"):
+            lint_schema(fig6, result=fig6_result, source=source)

@@ -1,0 +1,121 @@
+"""``TRC1xx`` transformation-soundness rules.
+
+The acceptance-critical scenario: a fault-injected mapping session
+silently drops a source constraint without citing a lossless rule,
+and the trace-soundness pass flags it as a ``TRC101`` error.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cris import figure6_schema
+from repro.lint import lint_schema
+from repro.mapper import MappingOptions, map_schema
+from repro.mapper.trace import KIND_BINARY, AppliedStep
+from repro.robustness import Fault, inject
+
+
+def trace_errors(report, code):
+    return [d for d in report.diagnostics if d.code == code]
+
+
+def _drop_constraint(name):
+    def mutate(state):
+        if state.schema.has_constraint(name):
+            state.schema.remove_constraint(name)
+
+    return mutate
+
+
+class TestTraceSoundness:
+    def test_clean_mapping_has_no_trace_findings(self, fig6, fig6_result):
+        report = lint_schema(fig6, result=fig6_result, select=["TRC"])
+        assert report.diagnostics == []
+
+    def test_clean_cris_mapping_has_no_trace_findings(self, cris, cris_result):
+        report = lint_schema(cris, result=cris_result, select=["TRC"])
+        assert report.diagnostics == []
+
+    @pytest.mark.parametrize("victim", ["T2", "U5"])
+    def test_fault_injected_constraint_drop_is_caught(self, victim):
+        """A seeded mutation — a constraint dropped without a lossless
+        rule — must surface as a TRC101 error naming the constraint."""
+        schema = figure6_schema()
+        fault = Fault(
+            "materialize.constraints",
+            kind="corrupt",
+            mutate=_drop_constraint(victim),
+        )
+        with inject(fault):
+            result = map_schema(schema, MappingOptions())
+        assert fault.triggered == 1
+        report = lint_schema(schema, result=result, select=["TRC"])
+        findings = trace_errors(report, "TRC101")
+        assert [d.subject for d in findings] == [victim]
+        assert findings[0].severity.value == "error"
+        assert report.exit_code == 1
+
+    def test_every_fig6_constraint_drop_is_caught(self):
+        """Exhaustive seeded-fault sweep: dropping any source
+        constraint mid-materialization yields exactly one TRC101."""
+        schema = figure6_schema()
+        for constraint in schema.constraints:
+            with inject(
+                Fault(
+                    "materialize.constraints",
+                    kind="corrupt",
+                    mutate=_drop_constraint(constraint.name),
+                )
+            ):
+                result = map_schema(schema, MappingOptions())
+            report = lint_schema(schema, result=result, select=["TRC101"])
+            assert [d.subject for d in report.diagnostics] == [
+                constraint.name
+            ], constraint.name
+
+
+class TestStepHygiene:
+    def test_phantom_lossless_rule_citation(self, fig6, fig6_result):
+        bogus = AppliedStep(
+            transformation="eliminate-sublink",
+            kind=KIND_BINARY,
+            target="Paper",
+            detail="test step citing a rule that was never materialized",
+            lossless_rules=("LL_NO_SUCH_RULE",),
+        )
+        doctored = replace(fig6_result, steps=[*fig6_result.steps, bogus])
+        report = lint_schema(fig6, result=doctored, select=["TRC102"])
+        findings = report.diagnostics
+        assert len(findings) == 1
+        assert "LL_NO_SUCH_RULE" in findings[0].message
+
+    def test_unknown_step_kind(self, fig6, fig6_result):
+        bogus = AppliedStep(
+            transformation="mystery",
+            kind="binary-quantum",
+            target="Paper",
+            detail="kind outside the paper's three transformation classes",
+        )
+        doctored = replace(fig6_result, steps=[*fig6_result.steps, bogus])
+        report = lint_schema(fig6, result=doctored, select=["TRC104"])
+        assert len(report.diagnostics) == 1
+        assert "binary-quantum" in report.diagnostics[0].message
+
+    def test_orphan_lossless_rule(self, fig6, fig6_result):
+        """A view constraint no step cites is a documentation gap."""
+        stripped = [
+            replace(step, lossless_rules=())
+            for step in fig6_result.steps
+        ]
+        doctored = replace(fig6_result, steps=stripped)
+        report = lint_schema(fig6, result=doctored, select=["TRC103"])
+        cited = {
+            rule for step in fig6_result.steps for rule in step.lossless_rules
+        }
+        view_names = {
+            c.name for c in fig6_result.relational.view_constraints()
+        }
+        expected = sorted(cited & view_names)
+        assert expected, "fig6 mapping should materialize view rules"
+        assert [d.subject for d in report.diagnostics] == expected

@@ -117,8 +117,12 @@ class TestSessionModes:
         assert "quarantined" in output
 
     def test_modes_are_mutually_exclusive(self, schema_file):
-        with pytest.raises(SystemExit):
-            run(["map", str(schema_file), "--strict", "--best-effort"])
+        code, output = run(
+            ["map", str(schema_file), "--strict", "--best-effort"]
+        )
+        assert code == EXIT_USAGE
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
 
     def test_report_writes_health_artifact(self, schema_file, tmp_path):
         out_dir = tmp_path / "build"
