@@ -20,6 +20,9 @@ from collections.abc import Callable
 from functools import wraps
 from typing import TypeVar
 
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import span as _obs_span
+
 T = TypeVar("T")
 
 #: All caches created by :func:`memoized_on_schema_version`, so tests
@@ -50,11 +53,21 @@ def memoized_on_schema_version(
             try:
                 value = cache[key]
             except KeyError:
-                value = fn(schema)
+                _obs_count("analysis.cache.miss")
+                # Volatile: whether this cache-fill span exists
+                # depends on what earlier work warmed the memo, so
+                # the deterministic trace export prunes it.
+                with _obs_span(
+                    f"analyzer.compute:{fn.__name__}",
+                    volatile=True,
+                    schema=schema.name,
+                ):
+                    value = fn(schema)
                 cache[key] = value
                 if len(cache) > maxsize:
                     cache.popitem(last=False)
             else:
+                _obs_count("analysis.cache.hit")
                 cache.move_to_end(key)
             return value
 

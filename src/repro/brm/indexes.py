@@ -42,6 +42,7 @@ from repro.brm.constraints import (
 )
 from repro.brm.facts import FactType, RoleId
 from repro.brm.sublinks import SublinkType
+from repro.observability.tracer import count as _obs_count
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.brm.schema import BinarySchema
@@ -297,6 +298,7 @@ def indexes_for(schema: "BinarySchema") -> SchemaIndexes:
     cached = cell[0]
     if cached is not None and cached[0] == schema.version:
         return cached[1]
+    _obs_count("schema.index_rebuilds")
     indexes = SchemaIndexes(schema)
     cell[0] = (schema.version, indexes)
     return indexes

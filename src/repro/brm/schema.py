@@ -40,6 +40,7 @@ from repro.brm.facts import FactType, Role, RoleId
 from repro.brm.indexes import indexes_for
 from repro.brm.objects import ObjectKind, ObjectType
 from repro.brm.sublinks import SublinkRef, SublinkType
+from repro.observability.tracer import count as _obs_count
 from repro.errors import (
     ConstraintError,
     DuplicateNameError,
@@ -82,6 +83,7 @@ class BinarySchema:
     def _bump(self) -> None:
         self._version = next(_VERSION_COUNTER)
         self._index_cache = [None]
+        _obs_count("schema.version_bumps")
 
     # ------------------------------------------------------------------
     # Element addition / removal

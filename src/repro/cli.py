@@ -11,6 +11,8 @@ loop of the paper's figure 1::
     python -m repro report conference.ridl --out build/
     python -m repro lint conference.ridl --format sarif > lint.sarif
     python -m repro show conference.ridl --format dot > schema.dot
+    python -m repro map conference.ridl --trace trace.json
+    python -m repro profile conference.ridl --pipeline advise --top-k 10
 
 ``map`` prints DDL; ``report`` writes the full artifact set (DDL for
 every dialect, forwards/backwards map report, transformation trace)
@@ -25,6 +27,14 @@ unmappable (or ``lint`` found errors), 2 parse/usage errors, 3
 analysis failures, 4 mapping failures, 5 degraded best-effort
 success.  Every argument error — argparse's own and our option
 validation alike — prints a one-line message and exits 2.
+
+``--trace FILE`` (on ``map``/``report``/``advise``/``lint``/
+``profile``) records the run with the tracing layer of
+:mod:`repro.observability` and writes the deterministic JSON span
+tree — or, with ``--trace-format chrome``, a ``chrome://tracing``
+file with real timings.  ``profile`` runs one pipeline under the
+tracer and prints the top-k spans by self time plus the pipeline
+counters (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -46,6 +56,12 @@ from repro.mapper import (
     map_schema,
 )
 from repro.notation import render_ascii, render_dot
+from repro.observability import (
+    Tracer,
+    render_profile,
+    to_chrome_trace,
+    to_json,
+)
 from repro.sql import PROFILES
 from repro.workloads.statistics import WorkloadProfile
 
@@ -100,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PROFILES) + ["pseudo"],
         help="DDL dialect (default: sql2)",
     )
+    _add_trace_arguments(map_cmd)
 
     report_cmd = commands.add_parser(
         "report", help="write DDL, map report and trace to a directory"
@@ -109,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument(
         "--out", type=Path, required=True, help="output directory"
     )
+    _add_trace_arguments(report_cmd)
 
     advise_cmd = commands.add_parser(
         "advise",
@@ -183,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json"],
         help="report format (default: text)",
     )
+    _add_trace_arguments(advise_cmd)
 
     lint_cmd = commands.add_parser(
         "lint",
@@ -216,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["text", "json", "sarif"],
         help="report format (default: text)",
     )
+    _add_trace_arguments(lint_cmd)
 
     show_cmd = commands.add_parser(
         "show", help="render the conceptual schema"
@@ -224,7 +244,59 @@ def build_parser() -> argparse.ArgumentParser:
     show_cmd.add_argument(
         "--format", default="ascii", choices=["ascii", "dot"]
     )
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="run one pipeline under the tracer and print the "
+        "hottest spans",
+    )
+    profile_cmd.add_argument("schema", type=Path)
+    profile_cmd.add_argument(
+        "--pipeline",
+        default="map",
+        choices=["map", "advise", "lint"],
+        help="which pipeline to profile (default: map)",
+    )
+    _add_option_arguments(profile_cmd)
+    profile_cmd.add_argument(
+        "--dialect",
+        default="sql2",
+        choices=sorted(PROFILES),
+        help="DDL dialect for the map/lint pipelines (default: sql2)",
+    )
+    profile_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="advise pipeline process-pool size (1 = serial)",
+    )
+    profile_cmd.add_argument(
+        "--top-k",
+        type=int,
+        default=15,
+        metavar="K",
+        help="how many aggregated spans to print (default 15)",
+    )
+    _add_trace_arguments(profile_cmd)
     return parser
+
+
+def _add_trace_arguments(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="record the run and write the trace to FILE",
+    )
+    command.add_argument(
+        "--trace-format",
+        default="spans",
+        choices=["spans", "chrome"],
+        help="trace file format: deterministic JSON span tree or "
+        "chrome://tracing events (default: spans)",
+    )
 
 
 def _add_option_arguments(command: argparse.ArgumentParser) -> None:
@@ -300,37 +372,19 @@ def main(argv: list[str] | None = None, out=None) -> int:
     parser = build_parser()
     try:
         namespace = parser.parse_args(argv)
-        if namespace.command == "analyze":
-            report = analyze(_load(namespace.schema))
-            print(report.render(), file=out)
-            return EXIT_OK if report.is_mappable else EXIT_UNMAPPABLE
-        if namespace.command == "map":
-            result = map_schema(
-                _load(namespace.schema),
-                _options_from(namespace),
-                robustness=namespace.mode,
-            )
-            print(result.sql(namespace.dialect), file=out)
-            return _finish_mapping(result, out)
-        if namespace.command == "report":
-            result = map_schema(
-                _load(namespace.schema),
-                _options_from(namespace),
-                robustness=namespace.mode,
-            )
-            written = write_artifacts(result, namespace.out)
-            for path in written:
-                print(path, file=out)
-            return _finish_mapping(result, out)
-        if namespace.command == "advise":
-            return _run_advise(namespace, out)
-        if namespace.command == "lint":
-            return _run_lint(namespace, out)
-        if namespace.command == "show":
-            schema = _load(namespace.schema)
-            renderer = render_dot if namespace.format == "dot" else render_ascii
-            print(renderer(schema), file=out)
-            return EXIT_OK
+        trace_path = getattr(namespace, "trace", None)
+        if trace_path is None and namespace.command != "profile":
+            return _dispatch(namespace, out)
+        tracer = Tracer(f"repro {namespace.command}")
+        try:
+            with tracer.activate():
+                return _dispatch(namespace, out, tracer=tracer)
+        finally:
+            # Written even when a later handler turns the failure
+            # into an exit code — a trace of a failed run is still a
+            # trace.
+            if trace_path is not None:
+                _write_trace(tracer, trace_path, namespace.trace_format)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=out)
         return EXIT_USAGE
@@ -346,6 +400,75 @@ def main(argv: list[str] | None = None, out=None) -> int:
     except BrokenPipeError:  # pragma: no cover - e.g. `| head`
         return EXIT_OK
     return EXIT_USAGE  # pragma: no cover - argparse enforces the commands
+
+
+def _dispatch(namespace: argparse.Namespace, out, tracer=None) -> int:
+    """Run one parsed command; exceptions propagate to ``main``."""
+    if namespace.command == "analyze":
+        report = analyze(_load(namespace.schema))
+        print(report.render(), file=out)
+        return EXIT_OK if report.is_mappable else EXIT_UNMAPPABLE
+    if namespace.command == "map":
+        result = map_schema(
+            _load(namespace.schema),
+            _options_from(namespace),
+            robustness=namespace.mode,
+        )
+        print(result.sql(namespace.dialect), file=out)
+        return _finish_mapping(result, out)
+    if namespace.command == "report":
+        result = map_schema(
+            _load(namespace.schema),
+            _options_from(namespace),
+            robustness=namespace.mode,
+        )
+        written = write_artifacts(result, namespace.out)
+        for path in written:
+            print(path, file=out)
+        return _finish_mapping(result, out)
+    if namespace.command == "advise":
+        return _run_advise(namespace, out)
+    if namespace.command == "lint":
+        return _run_lint(namespace, out)
+    if namespace.command == "show":
+        schema = _load(namespace.schema)
+        renderer = render_dot if namespace.format == "dot" else render_ascii
+        print(renderer(schema), file=out)
+        return EXIT_OK
+    if namespace.command == "profile":
+        return _run_profile(namespace, out, tracer)
+    raise RidlError(f"unknown command {namespace.command!r}")
+
+
+def _write_trace(tracer, path: Path, trace_format: str) -> None:
+    if trace_format == "chrome":
+        text = to_chrome_trace(tracer)
+    else:
+        text = to_json(tracer, deterministic=True)
+    path.write_text(text)
+
+
+def _run_profile(namespace: argparse.Namespace, out, tracer) -> int:
+    """The ``profile`` subcommand: run a pipeline, print hot spans."""
+    if namespace.pipeline == "map":
+        result = map_schema(
+            _load(namespace.schema),
+            _options_from(namespace),
+            robustness=namespace.mode,
+        )
+        result.sql(namespace.dialect)
+    elif namespace.pipeline == "advise":
+        schema = _load(namespace.schema)
+        advise(
+            schema, discover_space(schema), workers=namespace.workers
+        )
+    else:
+        source = namespace.schema.read_text()
+        lint_schema(
+            parse(source), source=source, dialect=namespace.dialect
+        )
+    print(render_profile(tracer, top_k=namespace.top_k), file=out)
+    return EXIT_OK
 
 
 def _policy_axis(text, choices, default):

@@ -25,6 +25,8 @@ from repro.dsl.pragmas import SuppressionPragmas, parse_pragmas
 from repro.errors import AnalysisError, MappingError
 from repro.lint.diagnostics import LintDiagnostic, LintReport
 from repro.lint.registry import all_rules, resolve_selectors
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import span as _obs_span
 from repro.sql.dialects import PROFILES
 from repro.sql.emitter import DialectProfile
 
@@ -77,46 +79,52 @@ def lint_schema(
         # Validate pragma codes exactly like --select/--ignore codes.
         resolve_selectors(pragmas.codes)
 
-    report = analyze(schema)
-    skipped: tuple[str, ...] = ()
-    if result is None:
-        result = _map_quietly(schema)
-    if result is None:
-        skipped = ("trace", "sql", "map")
+    with _obs_span("lint.schema", schema=schema.name, dialect=dialect):
+        with _obs_span("lint.artifacts"):
+            report = analyze(schema)
+            skipped: tuple[str, ...] = ()
+            if result is None:
+                result = _map_quietly(schema)
+            if result is None:
+                skipped = ("trace", "sql", "map")
 
-    context = LintContext(
-        schema=schema,
-        report=report,
-        result=result,
-        dialect=dialect,
-        profile=PROFILES[dialect],
-    )
-    diagnostics: list[LintDiagnostic] = []
-    suppressed = 0
-    for rule in all_rules():
-        if selected is not None and rule.code not in selected:
-            continue
-        if rule.code in ignored:
-            continue
-        if rule.artifact in skipped:
-            continue
-        for subject, message in rule.check(context):
-            diagnostic = LintDiagnostic(
-                code=rule.code,
-                severity=rule.severity,
-                subject=subject,
-                message=message,
-            )
-            if _is_suppressed(diagnostic, pragmas):
-                suppressed += 1
+        context = LintContext(
+            schema=schema,
+            report=report,
+            result=result,
+            dialect=dialect,
+            profile=PROFILES[dialect],
+        )
+        diagnostics: list[LintDiagnostic] = []
+        suppressed = 0
+        for rule in all_rules():
+            if selected is not None and rule.code not in selected:
                 continue
-            diagnostics.append(diagnostic)
-    return LintReport(
-        schema_name=schema.name,
-        diagnostics=diagnostics,
-        suppressed=suppressed,
-        skipped_artifacts=skipped,
-    )
+            if rule.code in ignored:
+                continue
+            if rule.artifact in skipped:
+                continue
+            with _obs_span(f"lint:{rule.code}") as rule_span:
+                findings = list(rule.check(context))
+                rule_span.set("findings", len(findings))
+            _obs_count("lint.diagnostics", len(findings))
+            for subject, message in findings:
+                diagnostic = LintDiagnostic(
+                    code=rule.code,
+                    severity=rule.severity,
+                    subject=subject,
+                    message=message,
+                )
+                if _is_suppressed(diagnostic, pragmas):
+                    suppressed += 1
+                    continue
+                diagnostics.append(diagnostic)
+        return LintReport(
+            schema_name=schema.name,
+            diagnostics=diagnostics,
+            suppressed=suppressed,
+            skipped_artifacts=skipped,
+        )
 
 
 def _map_quietly(schema: BinarySchema):

@@ -51,6 +51,7 @@ from repro.mapper.optionspace import (
 )
 from repro.mapper.rulebase import Rule
 from repro.mapper.synthesis import MappingPlan
+from repro.observability import tracer as obs
 from repro.robustness.health import HealthReport
 from repro.workloads.statistics import (
     WorkloadProfile,
@@ -321,15 +322,59 @@ class _GroupTask:
     model: CostModel
     robustness: str | None
     extra_rules: tuple[Rule, ...] = ()
+    #: Position in enumeration order — a deterministic span label.
+    group_index: int = 0
+    #: PID of the process whose tracer wants this group's spans, or
+    #: ``None`` when tracing is off.  A worker (different PID) opens
+    #: its own collector and ships the spans back; the serial path
+    #: (same PID) records straight onto the active tracer.
+    trace_parent: int | None = None
 
 
-def _explore_group(task: _GroupTask) -> list[CandidateOutcome]:
+def _explore_group(task: _GroupTask) -> "_GroupResult":
     """Run one shared prefix, then fork and score every suffix.
 
     Module-level so the payload and the function itself pickle for
     the process pool; also the serial path, so both are one code
     path and the results are identical by construction.
     """
+    if task.trace_parent is not None and os.getpid() != task.trace_parent:
+        # Worker process: collect spans/metrics locally and ship them
+        # back as picklable payloads for deterministic merging.  (With
+        # a forking start method the worker inherits the parent's
+        # active-tracer contextvar, but that tracer object is a dead
+        # copy — hence the PID check, not an ``active()`` check.)
+        collector = obs.Tracer("advisor-worker")
+        with collector.activate():
+            outcomes = _explore_group_outcomes(task)
+        return _GroupResult(
+            outcomes=outcomes,
+            spans=collector.export_spans(),
+            metrics=collector.metrics.snapshot(),
+        )
+    return _GroupResult(outcomes=_explore_group_outcomes(task))
+
+
+@dataclass(frozen=True)
+class _GroupResult:
+    """One group's outcomes plus, when traced in a worker, its spans."""
+
+    outcomes: list[CandidateOutcome]
+    spans: list | None = None
+    metrics: dict | None = None
+
+
+def _explore_group_outcomes(task: _GroupTask) -> list[CandidateOutcome]:
+    with obs.span(
+        "advisor.group",
+        group=task.group_index,
+        prefix=task.prefix_options.describe(),
+        candidates=len(task.items),
+    ):
+        return _run_group(task)
+
+
+def _run_group(task: _GroupTask) -> list[CandidateOutcome]:
     try:
         prefix = map_prefix(
             task.schema,
@@ -407,42 +452,62 @@ discover_space` for the schema.  ``workers`` defaults to the CPU
     process boundary, so ``extra_rules`` must be picklable
     (module-level functions).
     """
-    if space is None:
-        space = discover_space(schema)
-    candidates = enumerate_options(space, prune=prune)
-    groups: dict[tuple, list[tuple[int, MappingOptions]]] = {}
-    prefix_options: dict[tuple, MappingOptions] = {}
-    for index, options in enumerate(candidates):
-        key = options.prefix_key()
-        groups.setdefault(key, []).append((index, options))
-        prefix_options.setdefault(key, options.prefix_options())
-    tasks = [
-        _GroupTask(
-            schema=schema,
-            prefix_options=prefix_options[key],
-            items=tuple(items),
+    tracer = obs.active()
+    with obs.span("advisor.advise", schema=schema.name) as advise_span:
+        if space is None:
+            space = discover_space(schema)
+        with obs.span("advisor.enumerate"):
+            candidates = enumerate_options(space, prune=prune)
+        groups: dict[tuple, list[tuple[int, MappingOptions]]] = {}
+        prefix_options: dict[tuple, MappingOptions] = {}
+        for index, options in enumerate(candidates):
+            key = options.prefix_key()
+            groups.setdefault(key, []).append((index, options))
+            prefix_options.setdefault(key, options.prefix_options())
+        tasks = [
+            _GroupTask(
+                schema=schema,
+                prefix_options=prefix_options[key],
+                items=tuple(items),
+                profile=profile,
+                weights=weights,
+                model=model,
+                robustness=robustness,
+                extra_rules=extra_rules,
+                group_index=group_index,
+                trace_parent=None if tracer is None else os.getpid(),
+            )
+            for group_index, (key, items) in enumerate(groups.items())
+        ]
+        obs.count("advisor.groups", len(tasks))
+        obs.count("advisor.candidates", len(candidates))
+        effective = resolve_workers(workers, len(tasks))
+        if effective <= 1:
+            results = [_explore_group(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=effective) as pool:
+                results = list(pool.map(_explore_group, tasks))
+        grouped = []
+        for result in results:
+            # Graft worker-collected spans in task (= enumeration)
+            # order, so the span tree is identical to a serial run's
+            # regardless of which worker ran which group.
+            if tracer is not None and result.spans:
+                tracer.adopt(
+                    result.spans,
+                    parent=None if advise_span is obs.NOOP_SPAN else advise_span,
+                )
+            if tracer is not None and result.metrics:
+                tracer.metrics.merge(result.metrics)
+            grouped.append(result.outcomes)
+        outcomes = sorted(
+            (outcome for group in grouped for outcome in group),
+            key=CandidateOutcome.sort_key,
+        )
+        return AdvisorReport(
+            schema_name=schema.name,
+            ranked=tuple(outcomes),
+            prefix_groups=len(tasks),
             profile=profile,
             weights=weights,
-            model=model,
-            robustness=robustness,
-            extra_rules=extra_rules,
         )
-        for key, items in groups.items()
-    ]
-    effective = resolve_workers(workers, len(tasks))
-    if effective <= 1:
-        grouped = [_explore_group(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=effective) as pool:
-            grouped = list(pool.map(_explore_group, tasks))
-    outcomes = sorted(
-        (outcome for group in grouped for outcome in group),
-        key=CandidateOutcome.sort_key,
-    )
-    return AdvisorReport(
-        schema_name=schema.name,
-        ranked=tuple(outcomes),
-        prefix_groups=len(tasks),
-        profile=profile,
-        weights=weights,
-    )

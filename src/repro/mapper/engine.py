@@ -46,6 +46,7 @@ from repro.mapper.rulebase import Rule, TransformationEngine
 from repro.mapper.state import MappingState, StateSnapshot
 from repro.mapper.state_map import RelationalStateMap
 from repro.mapper.synthesis import MappingPlan, build_plan
+from repro.observability.tracer import span as _obs_span
 from repro.robustness import (
     CheckpointManager,
     GuardedExecutor,
@@ -78,12 +79,15 @@ class _PhaseRunner:
         self.checkpoints = checkpoints
 
     def run(self, name, fn):
-        if self.checkpoints is not None:
-            return self.checkpoints.run(name, self.state, fn, self.health)
-        faults.reach(f"phase:{name}", state=self.state)
-        value = fn()
-        self.health.completed_phases.append(name)
-        return value
+        with _obs_span(f"phase:{name}"):
+            if self.checkpoints is not None:
+                return self.checkpoints.run(
+                    name, self.state, fn, self.health
+                )
+            faults.reach(f"phase:{name}", state=self.state)
+            value = fn()
+            self.health.completed_phases.append(name)
+            return value
 
     def run_optional(self, name, fn, fallback):
         """A mapping-option phase: best-effort sessions survive its
@@ -202,18 +206,21 @@ def map_schema(
     """
     options = options or MappingOptions()
     mode = resolve_mode(robustness)
-    if analyze_first:
-        _gate(schema, options)
-    if checkpoints is not None:
-        checkpoints.bind(schema.name, options)
-    health = HealthReport(mode=mode.value)
-    state = MappingState(
-        schema=schema.copy(), options=options, original=schema
-    )
-    runner = _PhaseRunner(state, mode, health, checkpoints)
-    plan = _run_prefix(runner, extra_rules)
-    plan = _run_option_phases(runner, plan)
-    return _run_materialize(runner, schema, plan)
+    with _obs_span(
+        "mapper.map_schema", schema=schema.name, mode=mode.value
+    ):
+        if analyze_first:
+            _gate(schema, options)
+        if checkpoints is not None:
+            checkpoints.bind(schema.name, options)
+        health = HealthReport(mode=mode.value)
+        state = MappingState(
+            schema=schema.copy(), options=options, original=schema
+        )
+        runner = _PhaseRunner(state, mode, health, checkpoints)
+        plan = _run_prefix(runner, extra_rules)
+        plan = _run_option_phases(runner, plan)
+        return _run_materialize(runner, schema, plan)
 
 
 @dataclass(frozen=True)
@@ -273,20 +280,24 @@ def map_prefix(
     """
     options = (options or MappingOptions()).prefix_options()
     mode = resolve_mode(robustness)
-    if analyze_first:
-        _gate(schema, options)
-    if checkpoints is not None:
-        checkpoints.bind(schema.name, options)
-    health = HealthReport(mode=mode.value)
-    state = MappingState(
-        schema=schema.copy(), options=options, original=schema
-    )
-    runner = _PhaseRunner(state, mode, health, checkpoints)
-    plan = _run_prefix(runner, extra_rules)
+    with _obs_span(
+        "mapper.map_prefix", schema=schema.name, mode=mode.value
+    ):
+        if analyze_first:
+            _gate(schema, options)
+        if checkpoints is not None:
+            checkpoints.bind(schema.name, options)
+        health = HealthReport(mode=mode.value)
+        state = MappingState(
+            schema=schema.copy(), options=options, original=schema
+        )
+        runner = _PhaseRunner(state, mode, health, checkpoints)
+        plan = _run_prefix(runner, extra_rules)
+        state_snapshot = state.snapshot()
     return MappingPrefix(
         source=schema,
         options=options,
-        snapshot=state.snapshot(),
+        snapshot=state_snapshot,
         plan=plan.snapshot(),
         health=health,
         mode=mode,
@@ -327,9 +338,10 @@ def map_from_prefix(
     :meth:`~repro.mapper.options.MappingOptions.prefix_key`, but
     without redoing the binary phase and plan synthesis.
     """
-    runner, plan = _fork(prefix, options, robustness)
-    plan = _run_option_phases(runner, plan)
-    return _run_materialize(runner, prefix.source, plan)
+    with _obs_span("mapper.map_from_prefix", schema=prefix.source.name):
+        runner, plan = _fork(prefix, options, robustness)
+        plan = _run_option_phases(runner, plan)
+        return _run_materialize(runner, prefix.source, plan)
 
 
 def plan_from_prefix(
@@ -346,23 +358,25 @@ def plan_from_prefix(
     skips the materialization cost for every candidate that is not a
     winner; :func:`map_from_prefix` materializes the winners.
     """
-    runner, plan = _fork(prefix, options, robustness)
-    plan = _run_option_phases(runner, plan)
-    return plan, runner.health
+    with _obs_span("mapper.plan_from_prefix", schema=prefix.source.name):
+        runner, plan = _fork(prefix, options, robustness)
+        plan = _run_option_phases(runner, plan)
+        return plan, runner.health
 
 
 def _gate(schema: BinarySchema, options: MappingOptions) -> None:
-    report = analyze(schema)
-    tolerated = (
-        {"NOT_REFERABLE"}
-        if options.null_policy is NullPolicy.ALLOWED
-        else set()
-    )
-    blocking = [d for d in report.errors if d.code not in tolerated]
-    if blocking:
-        details = "; ".join(str(d) for d in blocking[:5])
-        if len(blocking) > 5:
-            details += f" (+{len(blocking) - 5} more)"
-        raise AnalysisError(
-            f"schema {schema.name!r} is not mappable: {details}"
+    with _obs_span("mapper.gate", schema=schema.name):
+        report = analyze(schema)
+        tolerated = (
+            {"NOT_REFERABLE"}
+            if options.null_policy is NullPolicy.ALLOWED
+            else set()
         )
+        blocking = [d for d in report.errors if d.code not in tolerated]
+        if blocking:
+            details = "; ".join(str(d) for d in blocking[:5])
+            if len(blocking) > 5:
+                details += f" (+{len(blocking) - 5} more)"
+            raise AnalysisError(
+                f"schema {schema.name!r} is not mappable: {details}"
+            )

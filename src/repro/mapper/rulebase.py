@@ -26,6 +26,8 @@ from repro.mapper.transformations.binary_binary import (
     canonicalize_constraints,
     restrict_scope,
 )
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import span as _obs_span
 
 
 @dataclass(frozen=True)
@@ -123,10 +125,12 @@ class TransformationEngine:
                 ):
                     continue
                 if rule.when(state):
-                    if executor is None:
-                        rule.fire(state)
-                    else:
-                        executor.execute(rule, state)
+                    with _obs_span(f"rule:{rule.name}", guarded=executor is not None):
+                        if executor is None:
+                            rule.fire(state)
+                        else:
+                            executor.execute(rule, state)
+                    _obs_count("rules.fired")
                     firings += 1
                     history.append(rule.name)
                     break

@@ -18,6 +18,8 @@ from repro.brm.population import Population
 from repro.brm.schema import BinarySchema
 from repro.mapper.options import MappingOptions
 from repro.mapper.trace import AppliedStep, PseudoConstraint
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import event as _obs_event
 
 PopulationMap = Callable[[Population], Population]
 
@@ -102,9 +104,20 @@ class MappingState:
         detail: str,
         lossless_rules: tuple[str, ...] = (),
     ) -> None:
-        """Append one applied step to the audit trail."""
+        """Append one applied step to the audit trail.
+
+        Every recorded step also emits exactly one point span named
+        ``step:<transformation>`` on the active tracer — ``record``
+        is the single choke point all transformations report through,
+        which is what makes the one-span-per-step trace invariant
+        hold by construction (and testable).
+        """
         self.steps.append(
             AppliedStep(transformation, kind, target, detail, lossless_rules)
+        )
+        _obs_count("steps.recorded")
+        _obs_event(
+            f"step:{transformation}", kind=kind, target=target
         )
 
     def snapshot(self) -> StateSnapshot:

@@ -1,0 +1,59 @@
+"""Pipeline observability: structured tracing, metrics, profiling.
+
+Zero-dependency spans and counters threaded through the whole
+RIDL-A/RIDL-M stack (see ``docs/OBSERVABILITY.md``).  Off by default
+with near-zero cost; enable per scope::
+
+    from repro.observability import Tracer, render_profile
+
+    tracer = Tracer("map conference")
+    with tracer.activate():
+        result = map_schema(schema)
+    print(render_profile(tracer))
+
+The CLI exposes the same machinery as ``--trace FILE`` on ``map`` /
+``advise`` / ``lint`` / ``report`` and as the ``repro profile``
+subcommand.
+"""
+
+from repro.observability.export import (
+    SPAN_TREE_SCHEMA,
+    aggregate_spans,
+    render_profile,
+    span_tree,
+    to_chrome_trace,
+    to_json,
+    validate_span_tree,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    active,
+    annotate,
+    count,
+    event,
+    gauge,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SPAN_TREE_SCHEMA",
+    "Span",
+    "Tracer",
+    "active",
+    "aggregate_spans",
+    "annotate",
+    "count",
+    "event",
+    "gauge",
+    "render_profile",
+    "span",
+    "span_tree",
+    "to_chrome_trace",
+    "to_json",
+    "validate_span_tree",
+]

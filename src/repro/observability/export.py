@@ -1,0 +1,362 @@
+"""Trace exporters: JSON span tree, Chrome trace events, text profile.
+
+Three consumers, three formats:
+
+* :func:`span_tree` / :func:`to_json` — the canonical machine-readable
+  form.  ``deterministic=True`` (the CLI ``--trace`` default) prunes
+  everything scheduling- or clock-dependent — timings, thread/process
+  ids, volatile cache-fill subtrees, the metrics section — so the
+  bytes are identical run over run and across advisor worker counts;
+  ``deterministic=False`` keeps it all for timing analysis.
+* :func:`to_chrome_trace` — the ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ trace-event format ("X"
+  complete events, microsecond timestamps normalized per process).
+* :func:`render_profile` — a flamegraph-style plain-text summary:
+  the span tree with inclusive times and percentages, then the top-k
+  aggregated span names by self time, then the metrics.
+
+:data:`SPAN_TREE_SCHEMA` documents the JSON form and
+:func:`validate_span_tree` checks a payload against it without any
+third-party schema library (the repo is dependency-free by design).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.tracer import Span, Tracer
+
+#: Version stamp of the exported JSON layout.
+EXPORT_VERSION = 1
+
+#: A JSON-Schema-shaped description of the span-tree export (draft-07
+#: vocabulary).  ``validate_span_tree`` enforces it natively; CI also
+#: feeds it to ``jsonschema`` when that package is around.
+SPAN_TREE_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "RIDL* pipeline trace",
+    "type": "object",
+    "required": ["trace", "spans"],
+    "properties": {
+        "trace": {
+            "type": "object",
+            "required": ["name", "version", "deterministic"],
+            "properties": {
+                "name": {"type": "string"},
+                "version": {"type": "integer"},
+                "deterministic": {"type": "boolean"},
+            },
+        },
+        "spans": {
+            "type": "array",
+            "items": {"$ref": "#/definitions/span"},
+        },
+        "metrics": {
+            "type": "object",
+            "properties": {
+                "counters": {"type": "object"},
+                "gauges": {"type": "object"},
+            },
+        },
+    },
+    "definitions": {
+        "span": {
+            "type": "object",
+            "required": ["name", "attributes", "children"],
+            "properties": {
+                "name": {"type": "string"},
+                "attributes": {"type": "object"},
+                "children": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/span"},
+                },
+                "duration_ms": {"type": "number"},
+                "start_ns": {"type": "integer"},
+                "end_ns": {"type": "integer"},
+                "thread": {"type": "integer"},
+                "pid": {"type": "integer"},
+                "volatile": {"type": "boolean"},
+            },
+        },
+    },
+}
+
+
+# ----------------------------------------------------------------------
+# JSON span tree
+# ----------------------------------------------------------------------
+
+
+def _span_payload(span: Span, deterministic: bool) -> dict | None:
+    if deterministic and span.volatile:
+        return None
+    children = []
+    for child in span.children:
+        payload = _span_payload(child, deterministic)
+        if payload is not None:
+            children.append(payload)
+    payload = {
+        "name": span.name,
+        "attributes": dict(span.attributes),
+        "children": children,
+    }
+    if not deterministic:
+        payload["start_ns"] = span.start_ns
+        payload["end_ns"] = span.end_ns
+        payload["duration_ms"] = round(span.duration_ns / 1e6, 4)
+        payload["thread"] = span.thread_id
+        payload["pid"] = span.pid
+        if span.volatile:
+            payload["volatile"] = True
+    return payload
+
+
+def span_tree(tracer: Tracer, *, deterministic: bool = True) -> dict:
+    """The trace as one JSON-able dict (see :data:`SPAN_TREE_SCHEMA`)."""
+    spans = []
+    for root in tracer.roots:
+        payload = _span_payload(root, deterministic)
+        if payload is not None:
+            spans.append(payload)
+    tree = {
+        "trace": {
+            "name": tracer.name,
+            "version": EXPORT_VERSION,
+            "deterministic": deterministic,
+        },
+        "spans": spans,
+    }
+    if not deterministic:
+        tree["metrics"] = tracer.metrics.snapshot()
+    return tree
+
+
+def to_json(tracer: Tracer, *, deterministic: bool = True) -> str:
+    """Canonical bytes: sorted keys, two-space indent, trailing NL."""
+    return (
+        json.dumps(
+            span_tree(tracer, deterministic=deterministic),
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+# ----------------------------------------------------------------------
+# Schema validation (dependency-free)
+# ----------------------------------------------------------------------
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"invalid span tree at {path}: {message}")
+
+
+def _validate_span(payload, path: str) -> None:
+    if not isinstance(payload, dict):
+        _fail(path, "span must be an object")
+    for key in ("name", "attributes", "children"):
+        if key not in payload:
+            _fail(path, f"missing required key {key!r}")
+    if not isinstance(payload["name"], str) or not payload["name"]:
+        _fail(path, "span name must be a non-empty string")
+    if not isinstance(payload["attributes"], dict):
+        _fail(path, "attributes must be an object")
+    for key in payload["attributes"]:
+        if not isinstance(key, str):
+            _fail(path, "attribute keys must be strings")
+    if not isinstance(payload["children"], list):
+        _fail(path, "children must be an array")
+    for key, kind in (
+        ("duration_ms", (int, float)),
+        ("start_ns", int),
+        ("end_ns", int),
+        ("thread", int),
+        ("pid", int),
+        ("volatile", bool),
+    ):
+        if key in payload and not isinstance(payload[key], kind):
+            _fail(path, f"{key} must be {kind}")
+    for index, child in enumerate(payload["children"]):
+        _validate_span(child, f"{path}.children[{index}]")
+
+
+def validate_span_tree(payload: dict) -> None:
+    """Raise :class:`ValueError` unless ``payload`` matches
+    :data:`SPAN_TREE_SCHEMA`; returns ``None`` when valid."""
+    if not isinstance(payload, dict):
+        _fail("$", "top level must be an object")
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        _fail("$.trace", "missing or not an object")
+    for key, kind in (
+        ("name", str),
+        ("version", int),
+        ("deterministic", bool),
+    ):
+        if not isinstance(trace.get(key), kind):
+            _fail(f"$.trace.{key}", f"must be {kind.__name__}")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        _fail("$.spans", "missing or not an array")
+    for index, span in enumerate(spans):
+        _validate_span(span, f"$.spans[{index}]")
+    if trace["deterministic"]:
+        if "metrics" in payload:
+            _fail("$.metrics", "deterministic exports carry no metrics")
+        _ensure_deterministic(spans, "$.spans")
+    elif "metrics" in payload:
+        metrics = payload["metrics"]
+        if not isinstance(metrics, dict):
+            _fail("$.metrics", "must be an object")
+        for section in ("counters", "gauges"):
+            if section in metrics and not isinstance(
+                metrics[section], dict
+            ):
+                _fail(f"$.metrics.{section}", "must be an object")
+
+
+def _ensure_deterministic(spans: list, path: str) -> None:
+    for index, span in enumerate(spans):
+        here = f"{path}[{index}]"
+        for key in ("duration_ms", "start_ns", "end_ns", "thread", "pid"):
+            if key in span:
+                _fail(here, f"deterministic spans carry no {key!r}")
+        if span.get("volatile"):
+            _fail(here, "deterministic exports prune volatile spans")
+        _ensure_deterministic(span["children"], f"{here}.children")
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer) -> str:
+    """The trace as ``chrome://tracing`` JSON (trace-event format).
+
+    Each span becomes one "X" (complete) event; timestamps are
+    microseconds, normalized so every process's earliest span starts
+    at zero (worker-process clocks are not comparable to the
+    parent's).
+    """
+    events: list[dict] = []
+    zero_by_pid: dict[int, int] = {}
+
+    def scan(span: Span) -> None:
+        first = zero_by_pid.get(span.pid)
+        if first is None or span.start_ns < first:
+            zero_by_pid[span.pid] = span.start_ns
+        for child in span.children:
+            scan(child)
+
+    def walk(span: Span) -> None:
+        zero = zero_by_pid.get(span.pid, 0)
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "cat": span.name.split(":", 1)[0].split(".", 1)[0],
+                "ts": (span.start_ns - zero) / 1e3,
+                "dur": span.duration_ns / 1e3,
+                "pid": span.pid,
+                "tid": span.thread_id,
+                "args": dict(span.attributes),
+            }
+        )
+        for child in span.children:
+            walk(child)
+
+    for root in tracer.roots:
+        scan(root)
+    for root in tracer.roots:
+        walk(root)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace": tracer.name,
+            "metrics": tracer.metrics.snapshot(),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Text profile (flamegraph-style tree + top-k table + metrics)
+# ----------------------------------------------------------------------
+
+
+def aggregate_spans(tracer: Tracer) -> list[dict]:
+    """Per-span-name aggregates: calls, total (inclusive) and self
+    (exclusive) milliseconds, sorted by self time descending."""
+    totals: dict[str, dict] = {}
+
+    def walk(span: Span) -> None:
+        bucket = totals.setdefault(
+            span.name, {"name": span.name, "calls": 0, "total_ms": 0.0, "self_ms": 0.0}
+        )
+        child_ns = sum(child.duration_ns for child in span.children)
+        bucket["calls"] += 1
+        bucket["total_ms"] += span.duration_ns / 1e6
+        bucket["self_ms"] += max(0, span.duration_ns - child_ns) / 1e6
+        for child in span.children:
+            walk(child)
+
+    for root in tracer.roots:
+        walk(root)
+    return sorted(
+        totals.values(), key=lambda b: (-b["self_ms"], b["name"])
+    )
+
+
+def render_profile(tracer: Tracer, *, top_k: int = 15, depth: int = 4) -> str:
+    """The engineer-facing profile: span tree, hot spans, metrics."""
+    lines = [f"trace {tracer.name!r}"]
+    wall_ns = sum(root.duration_ns for root in tracer.roots) or 1
+
+    def tree(span: Span, indent: int) -> None:
+        if indent > depth:
+            return
+        pct = 100.0 * span.duration_ns / wall_ns
+        bar = "#" * max(1, int(pct / 5)) if span.duration_ns else "."
+        lines.append(
+            f"{span.duration_ns / 1e6:>9.2f} ms {pct:>5.1f}% "
+            f"{'  ' * indent}{bar} {span.name}"
+        )
+        shown = 0
+        for child in span.children:
+            if shown >= 12:
+                lines.append(
+                    f"{'':>20} {'  ' * (indent + 1)}"
+                    f"... {len(span.children) - shown} more"
+                )
+                break
+            tree(child, indent + 1)
+            shown += 1
+
+    for root in tracer.roots:
+        tree(root, 0)
+    aggregates = aggregate_spans(tracer)
+    lines.append("")
+    lines.append(
+        f"top {min(top_k, len(aggregates))} spans by self time "
+        f"(of {len(aggregates)} distinct):"
+    )
+    lines.append(
+        f"{'self ms':>10}  {'total ms':>10}  {'calls':>7}  name"
+    )
+    for bucket in aggregates[:top_k]:
+        lines.append(
+            f"{bucket['self_ms']:>10.2f}  {bucket['total_ms']:>10.2f}  "
+            f"{bucket['calls']:>7}  {bucket['name']}"
+        )
+    snapshot = tracer.metrics.snapshot()
+    if snapshot["counters"] or snapshot["gauges"]:
+        lines.append("")
+        lines.append("metrics:")
+        for name, value in snapshot["counters"].items():
+            lines.append(f"  {name} = {value}")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"  {name} = {value}")
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import CheckpointError
+from repro.observability.tracer import count as _obs_count
 from repro.robustness import faults
 from repro.robustness.health import HealthReport
 
@@ -120,6 +121,7 @@ class CheckpointManager:
         """
         cached = self._completed.get(phase)
         if cached is not None:
+            _obs_count("checkpoint.resumes")
             state.restore(cached.snapshot)
             if health is not None:
                 health.resumed_phases.append(phase)
@@ -133,6 +135,7 @@ class CheckpointManager:
         except Exception as exc:
             state.restore(entry)
             raise CheckpointError(phase, str(exc)) from exc
+        _obs_count("checkpoint.writes")
         self._completed[phase] = Checkpoint(
             phase, state.snapshot(), copy.deepcopy(value)
         )

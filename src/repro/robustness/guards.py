@@ -25,6 +25,8 @@ from repro.analyzer.correctness import check_correctness
 from repro.analyzer.diagnostics import Severity
 from repro.brm.population import Population
 from repro.errors import QuarantinedRuleError
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import span as _obs_span
 from repro.robustness import faults
 from repro.robustness.health import HealthReport
 
@@ -233,6 +235,7 @@ class GuardedExecutor:
 
     def _fail(self, rule_name: str, reason: str, cause=None) -> bool:
         was_exhausted = self.exhausted
+        _obs_count("rules.quarantined")
         self.quarantined.add(rule_name)
         self.health.rollback(f"rule:{rule_name}", reason)
         self.health.quarantine(rule_name, reason)
@@ -263,7 +266,9 @@ class GuardedExecutor:
             return self._fail(
                 rule.name, f"action raised {exc!r}", cause=exc
             )
-        violations = check_state_invariants(state, before=snapshot)
+        _obs_count("guard.validations")
+        with _obs_span("guard.validate", rule=rule.name):
+            violations = check_state_invariants(state, before=snapshot)
         self.health.time_guard(
             f"rule:{rule.name}", perf_counter() - started
         )

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from repro.brm.builder import SchemaBuilder
 from repro.brm.datatypes import char, date, numeric
 from repro.brm.schema import BinarySchema
+from repro.observability.tracer import span as _obs_span
 
 
 @dataclass(frozen=True)
@@ -25,9 +26,10 @@ class SchemaShape:
 
     The ``rich_constraints`` switch adds the set-algebraic constraint
     load (role subsets/equalities between optional facts, value
-    restrictions) typical of constraint-heavy industrial models; the
-    population generator does not support those, so enable it only
-    for mapping/DDL experiments.
+    restrictions) typical of constraint-heavy industrial models.
+    ``generate_population`` supports those shapes: it draws lexical
+    fillers from the value restrictions and closes optional-role fill
+    decisions over the subset/equality constraints.
     """
 
     entity_types: int = 40
@@ -48,6 +50,16 @@ def generate_schema(
     shape: SchemaShape = SchemaShape(), seed: int = 1989
 ) -> BinarySchema:
     """A seeded random binary schema with the given shape."""
+    with _obs_span(
+        "workloads.generate_schema",
+        seed=seed,
+        entity_types=shape.entity_types,
+        rich_constraints=shape.rich_constraints,
+    ):
+        return _generate(shape, seed)
+
+
+def _generate(shape: SchemaShape, seed: int) -> BinarySchema:
     rng = random.Random(seed)
     b = SchemaBuilder(f"generated_{seed}")
 

@@ -5,6 +5,18 @@ workloads: generates populations that satisfy the schema's
 constraints *by construction* (uniqueness via distinct values,
 totality by always filling mandatory roles, exclusion by partitioning
 subtype membership), then verifiable with ``Population.check()``.
+
+Rich-constraint schemas (``SchemaShape(rich_constraints=True)``) are
+supported too: lexical fillers are drawn from a type's
+:class:`~repro.brm.constraints.ValueConstraint` allowed values when
+one exists, and the fill decisions for functional facts are closed
+over role :class:`~repro.brm.constraints.SubsetConstraint` /
+:class:`~repro.brm.constraints.EqualityConstraint` pairs (an instance
+planned to fill a subset role also fills the superset role; equal
+roles fill the union) before any filler value is chosen.  Constraint
+ends that are not the functional (near) role of a planned fact are
+left to ``Population.check()`` — the generator enforces what it can
+by construction and never silently weakens a constraint.
 """
 
 from __future__ import annotations
@@ -15,6 +27,15 @@ from repro.brm.facts import RoleId
 from repro.brm.population import Population
 from repro.brm.schema import BinarySchema
 from repro.brm.sublinks import SublinkRef
+
+
+def _lexical_pool(schema: BinarySchema, player: str) -> list:
+    """Candidate values for a lexical type: its value constraint's
+    allowed values when one exists, else a small synthetic pool."""
+    constraint = schema.value_constraint_on(player)
+    if constraint is not None:
+        return list(constraint.values)
+    return [f"{player.lower()}_v{i}" for i in range(3)]
 
 
 def generate_population(
@@ -72,9 +93,14 @@ def generate_population(
             claimed[sublink.name] = members
             population.add_instances(name, members)
 
-    # 2. Functional facts: fill mandatory roles always, optional ones
-    #    with probability ``optional_fill``; unique far roles get
-    #    distinct values.
+    # 2. Functional facts, in three stages so the role subset/equality
+    #    constraints between optional roles hold by construction:
+    #    (a) plan which near instances fill each fact (mandatory roles
+    #    always, optional ones with probability ``optional_fill``),
+    #    (b) close the plan over role subset/equality constraints,
+    #    (c) materialize fillers (unique far roles get distinct values).
+    near_of: dict[str, RoleId] = {}
+    chosen: dict[RoleId, set] = {}
     for fact in schema.fact_types:
         first_id, second_id = fact.role_ids
         near_id = None
@@ -85,19 +111,64 @@ def generate_population(
         if near_id is None:
             continue  # many-to-many handled below
         near_role = fact.role(near_id.role)
+        total = schema.is_total(near_id)
+        near_of[fact.name] = near_id
+        chosen[near_id] = {
+            instance
+            for instance in sorted(
+                population.instances(near_role.player), key=repr
+            )
+            if total or rng.random() <= optional_fill
+        }
+
+    changed = True
+    while changed:
+        changed = False
+        for constraint in schema.subsets():
+            subset, superset = constraint.subset, constraint.superset
+            if subset in chosen and superset in chosen:
+                missing = chosen[subset] - chosen[superset]
+                if missing:
+                    chosen[superset] |= missing
+                    changed = True
+        for constraint in schema.equalities():
+            items = [item for item in constraint.items if item in chosen]
+            if len(items) < 2:
+                continue
+            union = set().union(*(chosen[item] for item in items))
+            for item in items:
+                if chosen[item] != union:
+                    chosen[item] = set(union)
+                    changed = True
+
+    for fact in schema.fact_types:
+        near_id = near_of.get(fact.name)
+        if near_id is None:
+            continue
+        first_id, _ = fact.role_ids
+        near_role = fact.role(near_id.role)
         far_role = fact.co_role(near_id.role)
         far_id = RoleId(fact.name, far_role.name)
         far_unique = schema.is_unique(far_id)
-        total = schema.is_total(near_id)
         far_player = schema.object_type(far_role.player)
-        pool = [f"{far_role.player.lower()}_v{i}" for i in range(3)]
+        pool = _lexical_pool(schema, far_role.player)
+        members = chosen[near_id]
         for index, instance in enumerate(
             sorted(population.instances(near_role.player), key=repr)
         ):
-            if not total and rng.random() > optional_fill:
+            if instance not in members:
                 continue
             if far_unique:
-                filler = f"{fact.name.lower()}_{index}"
+                # Distinct per instance; a value-constrained far type
+                # spends its allowed values first.
+                if schema.value_constraint_on(far_role.player) is not None:
+                    filler = (
+                        pool[index]
+                        if index < len(pool)
+                        else f"{fact.name.lower()}_{index}"
+                    )
+                else:
+                    filler = f"{fact.name.lower()}_{index}"
             elif far_player.is_nolot:
                 existing = sorted(
                     population.instances(far_role.player), key=repr
@@ -118,9 +189,9 @@ def generate_population(
         first_pool = sorted(population.instances(fact.first.player), key=repr)
         second_pool = sorted(population.instances(fact.second.player), key=repr)
         if schema.object_type(fact.first.player).is_lexical and not first_pool:
-            first_pool = [f"{fact.first.player.lower()}_v0"]
+            first_pool = _lexical_pool(schema, fact.first.player)
         if schema.object_type(fact.second.player).is_lexical and not second_pool:
-            second_pool = [f"{fact.second.player.lower()}_v0"]
+            second_pool = _lexical_pool(schema, fact.second.player)
         if not first_pool or not second_pool:
             continue  # an empty non-lexical side gets no pairs
         for _ in range(instances_per_type):

@@ -94,6 +94,100 @@ class TestGeneratedSchemaProperties:
         )
 
 
+class TestRichConstraintProperties:
+    """Rich-constraint shapes (value restrictions, role subsets and
+    equalities between optional facts) through the full round trip:
+    the generated population satisfies them by construction, the
+    mapped database enforces them, and the state map stays bijective.
+    """
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=40),
+        population_seed=st.integers(min_value=0, max_value=40),
+        policies=POLICIES,
+    )
+    def test_rich_constraint_schemas_are_lossless(
+        self, schema_seed, population_seed, policies
+    ):
+        null_policy, sublink_policy = policies
+        schema = generate_schema(
+            SchemaShape(
+                entity_types=8,
+                exclusion_groups=1,
+                subtype_own_identifier_ratio=0.5,
+                rich_constraints=True,
+                subset_ratio=0.8,
+                value_ratio=0.5,
+            ),
+            seed=schema_seed,
+        )
+        population = generate_population(
+            schema, instances_per_type=4, seed=population_seed
+        )
+        assert population.is_valid(), [str(v) for v in population.check()][:5]
+        round_trip(
+            schema,
+            population,
+            MappingOptions(
+                null_policy=null_policy, sublink_policy=sublink_policy
+            ),
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=60))
+    def test_value_restricted_fillers_come_from_allowed_values(self, seed):
+        from repro.brm.constraints import ValueConstraint
+
+        schema = generate_schema(
+            SchemaShape(entity_types=6, rich_constraints=True, value_ratio=1.0),
+            seed=seed,
+        )
+        population = generate_population(schema, seed=seed)
+        restricted = {
+            c.object_type: set(c.values)
+            for c in schema.constraints
+            if isinstance(c, ValueConstraint)
+        }
+        assert restricted  # value_ratio=1.0 guarantees some
+        for type_name, allowed in restricted.items():
+            values = population.instances(type_name)
+            assert set(values) <= allowed, (type_name, values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=60))
+    def test_subset_and_equality_roles_hold_in_population(self, seed):
+        from repro.brm.constraints import (
+            EqualityConstraint,
+            SubsetConstraint,
+        )
+
+        schema = generate_schema(
+            SchemaShape(
+                entity_types=8, rich_constraints=True, subset_ratio=1.0
+            ),
+            seed=seed,
+        )
+        population = generate_population(schema, seed=seed)
+        for constraint in schema.constraints:
+            if isinstance(constraint, SubsetConstraint):
+                assert population.item_population(
+                    constraint.subset
+                ) <= population.item_population(
+                    constraint.superset
+                ), constraint.name
+            elif isinstance(constraint, EqualityConstraint):
+                first, *rest = constraint.items
+                for other in rest:
+                    assert population.item_population(
+                        first
+                    ) == population.item_population(other), constraint.name
+
+
 class TestTranslationProperties:
     """Data translation between designs (§4.1) on random schemas."""
 

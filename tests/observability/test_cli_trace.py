@@ -1,0 +1,153 @@
+"""The CLI surface of the tracing layer: ``--trace`` on the pipeline
+commands and the ``profile`` subcommand."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cris import figure6_schema
+from repro.dsl import to_dsl
+from repro.observability import validate_span_tree
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "figure6.ridl"
+    path.write_text(to_dsl(figure6_schema()))
+    return path
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestTraceFlag:
+    def test_map_trace_writes_valid_deterministic_tree(
+        self, schema_file, tmp_path
+    ):
+        trace = tmp_path / "trace.json"
+        code, output = run(["map", str(schema_file), "--trace", str(trace)])
+        assert code == 0
+        assert "CREATE TABLE" in output  # tracing never changes output
+        payload = json.loads(trace.read_text())
+        validate_span_tree(payload)
+        assert payload["trace"]["deterministic"] is True
+        names = [s["name"] for s in payload["spans"]]
+        assert "mapper.map_schema" in names
+        assert "sql.emit" in names
+
+    def test_map_trace_is_reproducible(self, schema_file, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        run(["map", str(schema_file), "--trace", str(first)])
+        run(["map", str(schema_file), "--trace", str(second)])
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_chrome_format_emits_trace_events(self, schema_file, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = run(
+            [
+                "lint",
+                str(schema_file),
+                "--trace",
+                str(trace),
+                "--trace-format",
+                "chrome",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(trace.read_text())
+        assert any(
+            e["name"] == "lint.schema" for e in payload["traceEvents"]
+        )
+        assert payload["otherData"]["metrics"]["counters"]
+
+    def test_advise_trace_matches_across_worker_counts(
+        self, schema_file, tmp_path
+    ):
+        serial, pooled = tmp_path / "w1.json", tmp_path / "w2.json"
+        args = ["advise", str(schema_file), "--max-candidates", "6"]
+        code, _ = run(args + ["--workers", "1", "--trace", str(serial)])
+        assert code == 0
+        code, _ = run(args + ["--workers", "2", "--trace", str(pooled)])
+        assert code == 0
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_trace_written_even_when_the_run_fails(self, tmp_path):
+        bad = tmp_path / "bad.ridl"
+        bad.write_text(
+            "schema Bad\nnolot Ghost\nlot K : char(3)\n"
+            "attribute Ghost has K\n"
+        )
+        trace = tmp_path / "trace.json"
+        code, output = run(["map", str(bad), "--trace", str(trace)])
+        assert code != 0
+        payload = json.loads(trace.read_text())
+        validate_span_tree(payload)
+
+    def test_report_supports_trace(self, schema_file, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = run(
+            [
+                "report",
+                str(schema_file),
+                "--out",
+                str(tmp_path / "build"),
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        validate_span_tree(json.loads(trace.read_text()))
+
+
+class TestProfileCommand:
+    def test_profile_map_prints_tree_topk_and_metrics(self, schema_file):
+        code, output = run(["profile", str(schema_file), "--top-k", "5"])
+        assert code == 0
+        assert "trace 'repro profile'" in output
+        assert "mapper.map_schema" in output
+        assert "spans by self time" in output
+        assert "rules.fired" in output
+
+    def test_profile_lint_pipeline(self, schema_file):
+        code, output = run(
+            ["profile", str(schema_file), "--pipeline", "lint"]
+        )
+        assert code == 0
+        assert "lint.schema" in output
+        assert "lint.diagnostics" in output or "lint:" in output
+
+    def test_profile_advise_pipeline_serial(self, schema_file):
+        code, output = run(
+            [
+                "profile",
+                str(schema_file),
+                "--pipeline",
+                "advise",
+                "--workers",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "advisor.advise" in output
+        assert "advisor.groups" in output
+
+    def test_profile_with_trace_writes_both(self, schema_file, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, output = run(
+            ["profile", str(schema_file), "--trace", str(trace)]
+        )
+        assert code == 0
+        assert "spans by self time" in output
+        validate_span_tree(json.loads(trace.read_text()))
+
+    def test_profile_usage_errors_exit_two(self, schema_file):
+        code, output = run(
+            ["profile", str(schema_file), "--pipeline", "nope"]
+        )
+        assert code == 2
+        assert "error:" in output

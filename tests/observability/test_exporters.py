@@ -1,0 +1,179 @@
+"""The trace exporters: deterministic JSON span tree, the native
+schema validator, Chrome trace events, and the text profile."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    aggregate_spans,
+    count,
+    render_profile,
+    span,
+    span_tree,
+    to_chrome_trace,
+    to_json,
+    validate_span_tree,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer("sample")
+    with tracer.activate():
+        with span("root", schema="s"):
+            with span("cache-fill", volatile=True):
+                pass
+            with span("work", rule="r1"):
+                pass
+        count("hits", 2)
+    return tracer
+
+
+class TestSpanTree:
+    def test_deterministic_tree_prunes_volatile_and_timings(self):
+        tree = span_tree(sample_tracer(), deterministic=True)
+        (root,) = tree["spans"]
+        assert [c["name"] for c in root["children"]] == ["work"]
+        assert "start_ns" not in root
+        assert "metrics" not in tree
+        assert tree["trace"]["deterministic"] is True
+        validate_span_tree(tree)
+
+    def test_full_tree_keeps_everything(self):
+        tree = span_tree(sample_tracer(), deterministic=False)
+        (root,) = tree["spans"]
+        names = [c["name"] for c in root["children"]]
+        assert names == ["cache-fill", "work"]
+        assert root["children"][0]["volatile"] is True
+        assert root["end_ns"] >= root["start_ns"]
+        assert tree["metrics"]["counters"] == {"hits": 2}
+        validate_span_tree(tree)
+
+    def test_to_json_is_canonical(self):
+        text = to_json(sample_tracer())
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        validate_span_tree(payload)
+        # Sorted keys make the bytes canonical.
+        assert text == json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="top level"):
+            validate_span_tree([])
+
+    def test_rejects_missing_trace_header(self):
+        with pytest.raises(ValueError, match=r"\$\.trace"):
+            validate_span_tree({"spans": []})
+
+    def test_rejects_span_without_name(self):
+        tree = span_tree(sample_tracer())
+        del tree["spans"][0]["name"]
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_span_tree(tree)
+
+    def test_rejects_timings_in_deterministic_export(self):
+        tree = span_tree(sample_tracer())
+        tree["spans"][0]["start_ns"] = 1
+        with pytest.raises(ValueError, match="no 'start_ns'"):
+            validate_span_tree(tree)
+
+    def test_rejects_metrics_in_deterministic_export(self):
+        tree = span_tree(sample_tracer())
+        tree["metrics"] = {"counters": {}}
+        with pytest.raises(ValueError, match="no metrics"):
+            validate_span_tree(tree)
+
+    def test_rejects_volatile_in_deterministic_export(self):
+        tree = span_tree(sample_tracer())
+        tree["spans"][0]["volatile"] = True
+        with pytest.raises(ValueError, match="volatile"):
+            validate_span_tree(tree)
+
+    def test_rejects_wrong_attribute_container(self):
+        tree = span_tree(sample_tracer())
+        tree["spans"][0]["attributes"] = ["not", "a", "dict"]
+        with pytest.raises(ValueError, match="attributes"):
+            validate_span_tree(tree)
+
+    def test_rejects_bad_nested_child(self):
+        tree = span_tree(sample_tracer())
+        tree["spans"][0]["children"].append("not-a-span")
+        with pytest.raises(ValueError, match="children"):
+            validate_span_tree(tree)
+
+
+class TestChromeTrace:
+    def test_events_cover_every_span(self):
+        text = to_chrome_trace(sample_tracer())
+        payload = json.loads(text)
+        names = sorted(e["name"] for e in payload["traceEvents"])
+        assert names == ["cache-fill", "root", "work"]
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_timestamps_are_normalized_per_process(self):
+        payload = json.loads(to_chrome_trace(sample_tracer()))
+        starts = [e["ts"] for e in payload["traceEvents"]]
+        assert min(starts) == 0.0
+        assert all(ts >= 0 for ts in starts)
+
+    def test_category_is_the_name_prefix(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("mapper.map_schema"):
+                pass
+            with span("rule:canonicalize"):
+                pass
+        payload = json.loads(to_chrome_trace(tracer))
+        categories = {e["name"]: e["cat"] for e in payload["traceEvents"]}
+        assert categories["mapper.map_schema"] == "mapper"
+        assert categories["rule:canonicalize"] == "rule"
+
+    def test_metrics_ride_in_other_data(self):
+        payload = json.loads(to_chrome_trace(sample_tracer()))
+        assert payload["otherData"]["metrics"]["counters"] == {"hits": 2}
+
+
+class TestProfile:
+    def test_aggregates_group_by_name(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+        (bucket,) = aggregate_spans(tracer)
+        assert bucket["name"] == "repeated"
+        assert bucket["calls"] == 3
+        assert bucket["self_ms"] == pytest.approx(bucket["total_ms"])
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("parent"):
+                with span("child"):
+                    for _ in range(1000):
+                        pass
+        by_name = {b["name"]: b for b in aggregate_spans(tracer)}
+        assert by_name["parent"]["total_ms"] >= by_name["child"]["total_ms"]
+        assert by_name["parent"]["self_ms"] <= by_name["parent"]["total_ms"]
+
+    def test_render_profile_lists_tree_topk_and_metrics(self):
+        text = render_profile(sample_tracer(), top_k=2)
+        assert "trace 'sample'" in text
+        assert "root" in text and "work" in text
+        assert "top 2 spans by self time" in text
+        assert "hits = 2" in text
+
+    def test_render_profile_respects_depth(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("d0"):
+                with span("d1"):
+                    with span("d2"):
+                        pass
+        text = render_profile(tracer, depth=1)
+        tree_section = text.split("top ", 1)[0]
+        assert "d1" in tree_section
+        assert "d2" not in tree_section

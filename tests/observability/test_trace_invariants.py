@@ -1,0 +1,151 @@
+"""Property-based trace invariants over real pipeline runs.
+
+Three structural properties the tracing layer must hold on *any*
+schema the generator can produce:
+
+* **Well-nested, non-overlapping spans** — every child's interval is
+  contained in its parent's, and same-thread siblings never overlap
+  (monotonic clock, LIFO nesting).
+* **One ``step:`` span per applied transformation** — the trace's
+  point events agree with the mapping result's audit trail
+  (``MappingState.record`` is the single choke point for both).
+* **Worker-count determinism** — the deterministic JSON export of an
+  ``advise`` run is byte-identical for 1 and 2 workers.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mapper import MappingOptions, SublinkPolicy, advise, discover_space, map_schema
+from repro.observability import Span, Tracer, to_json
+from repro.workloads import SchemaShape, generate_schema
+
+SHAPES = st.builds(
+    SchemaShape,
+    entity_types=st.integers(min_value=3, max_value=10),
+    rich_constraints=st.booleans(),
+    subtype_own_identifier_ratio=st.just(0.5),
+)
+
+
+def traced_map(schema, options=MappingOptions()) -> tuple[Tracer, object]:
+    tracer = Tracer("test")
+    with tracer.activate():
+        result = map_schema(schema, options)
+    return tracer, result
+
+
+def walk(span: Span):
+    yield span
+    for child in span.children:
+        yield from walk(child)
+
+
+def assert_well_nested(span: Span) -> None:
+    previous_end_by_thread: dict[int, int] = {}
+    for child in span.children:
+        assert span.start_ns <= child.start_ns, (span.name, child.name)
+        assert child.end_ns <= span.end_ns or child.pid != span.pid, (
+            span.name,
+            child.name,
+        )
+        if child.pid == span.pid:
+            previous = previous_end_by_thread.get(child.thread_id)
+            if previous is not None:
+                assert previous <= child.start_ns, (
+                    f"siblings overlap under {span.name}: {child.name}"
+                )
+            previous_end_by_thread[child.thread_id] = child.end_ns
+        assert_well_nested(child)
+
+
+class TestSpanNesting:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(shape=SHAPES, seed=st.integers(min_value=0, max_value=100))
+    def test_spans_are_well_nested_and_non_overlapping(self, shape, seed):
+        schema = generate_schema(shape, seed=seed)
+        tracer, _ = traced_map(schema)
+        assert tracer.roots
+        for root in tracer.roots:
+            assert root.end_ns >= root.start_ns
+            assert_well_nested(root)
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=100))
+    def test_every_span_has_a_name_and_clean_attributes(self, seed):
+        schema = generate_schema(SchemaShape(entity_types=6), seed=seed)
+        tracer, _ = traced_map(schema)
+        for root in tracer.roots:
+            for span in walk(root):
+                assert span.name
+                for key, value in span.attributes.items():
+                    assert isinstance(key, str)
+                    assert isinstance(value, (str, int, float, bool)), (
+                        span.name,
+                        key,
+                        type(value),
+                    )
+
+
+class TestStepSpans:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        shape=SHAPES,
+        seed=st.integers(min_value=0, max_value=100),
+        sublinks=st.sampled_from(list(SublinkPolicy)),
+    )
+    def test_exactly_one_step_span_per_applied_step(
+        self, shape, seed, sublinks
+    ):
+        schema = generate_schema(shape, seed=seed)
+        tracer, result = traced_map(
+            schema, MappingOptions(sublink_policy=sublinks)
+        )
+        step_spans = [
+            span
+            for root in tracer.roots
+            for span in walk(root)
+            if span.name.startswith("step:")
+        ]
+        # In a healthy (non-faulted) run no firing is rolled back, so
+        # the point events agree exactly with the audit trail.
+        assert len(step_spans) == len(result.steps)
+        assert [s.name for s in step_spans] == [
+            f"step:{step.transformation}" for step in result.steps
+        ]
+        assert tracer.metrics.counter("steps.recorded") == len(result.steps)
+
+
+class TestWorkerDeterminism:
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=20))
+    def test_advise_trace_is_byte_identical_across_worker_counts(
+        self, seed
+    ):
+        schema = generate_schema(
+            SchemaShape(entity_types=4, many_to_many_per_entity=0.0),
+            seed=seed,
+        )
+        exports = []
+        for workers in (1, 2):
+            tracer = Tracer("advise")
+            with tracer.activate():
+                advise(schema, discover_space(schema), workers=workers)
+            exports.append(to_json(tracer, deterministic=True))
+        assert exports[0] == exports[1]

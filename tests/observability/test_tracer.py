@@ -1,0 +1,230 @@
+"""The tracer core: spans, nesting, activation scoping, threads,
+metrics, and the disabled no-op path."""
+
+import threading
+
+from repro.observability import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    active,
+    annotate,
+    count,
+    event,
+    gauge,
+    span,
+)
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_noop_when_inactive(self):
+        assert active() is None
+        assert span("anything") is NOOP_SPAN
+        assert span("other", key="value") is NOOP_SPAN
+
+    def test_noop_span_is_reentrant_and_chainable(self):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner is outer is NOOP_SPAN
+        assert NOOP_SPAN.set("k", 1) is NOOP_SPAN
+
+    def test_event_count_gauge_annotate_are_noops(self):
+        event("mark")
+        count("counter")
+        gauge("gauge", 3.5)
+        annotate(key="value")  # nothing to assert beyond "no crash"
+
+
+class TestActivation:
+    def test_activation_scopes_the_tracer(self):
+        tracer = Tracer("t")
+        assert active() is None
+        with tracer.activate():
+            assert active() is tracer
+        assert active() is None
+
+    def test_tracers_nest_innermost_wins(self):
+        outer, inner = Tracer("outer"), Tracer("inner")
+        with outer.activate():
+            with inner.activate():
+                with span("work"):
+                    pass
+            with span("outer-work"):
+                pass
+        assert [s.name for s in inner.roots] == ["work"]
+        assert [s.name for s in outer.roots] == ["outer-work"]
+
+    def test_activation_isolates_span_stack(self):
+        # A tracer activated inside an open span must not attach its
+        # spans to that span — the fork-safety property.
+        outer, inner = Tracer("outer"), Tracer("inner")
+        with outer.activate():
+            with span("outer-span") as outer_span:
+                with inner.activate():
+                    with span("inner-span"):
+                        pass
+                with span("child"):
+                    pass
+            assert [c.name for c in outer_span.children] == ["child"]
+        assert [s.name for s in inner.roots] == ["inner-span"]
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("root", schema="s"):
+                with span("child-a"):
+                    with span("grandchild"):
+                        pass
+                with span("child-b"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "root"
+        assert root.attributes == {"schema": "s"}
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_timings_are_monotonic_and_contained(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("root"):
+                with span("child"):
+                    pass
+        (root,) = tracer.roots
+        (child,) = root.children
+        assert root.start_ns <= child.start_ns
+        assert child.end_ns <= root.end_ns
+        assert root.duration_ns >= child.duration_ns
+
+    def test_exception_marks_the_span_and_propagates(self):
+        tracer = Tracer("t")
+        try:
+            with tracer.activate():
+                with span("failing"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
+        (root,) = tracer.roots
+        assert root.attributes["error"] == "ValueError"
+        assert root.end_ns >= root.start_ns
+
+    def test_event_records_zero_duration_child(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("parent"):
+                event("step:mark", target="T")
+        (root,) = tracer.roots
+        (mark,) = root.children
+        assert mark.name == "step:mark"
+        assert mark.duration_ns == 0
+        assert mark.attributes == {"target": "T"}
+
+    def test_annotate_reaches_the_innermost_span(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("outer"):
+                with span("inner"):
+                    annotate(extra=7)
+        (root,) = tracer.roots
+        assert root.children[0].attributes == {"extra": 7}
+        assert "extra" not in root.attributes
+
+    def test_threads_get_independent_roots(self):
+        # New threads start with a fresh contextvars context, so the
+        # caller propagates the activation by running the worker in a
+        # copy of the activating context (one copy per thread).
+        import contextvars
+
+        tracer = Tracer("t")
+        errors = []
+
+        def work(index):
+            try:
+                with span(f"thread-{index}"):
+                    with span("nested"):
+                        pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with tracer.activate():
+            contexts = [contextvars.copy_context() for _ in range(4)]
+            threads = [
+                threading.Thread(target=ctx.run, args=(work, i))
+                for i, ctx in enumerate(contexts)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        assert sorted(s.name for s in tracer.roots) == [
+            f"thread-{i}" for i in range(4)
+        ]
+        assert all(len(s.children) == 1 for s in tracer.roots)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_the_tree(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("root", key="v"):
+                with span("volatile-child", volatile=True):
+                    pass
+        payloads = tracer.export_spans()
+        clone = Tracer("clone")
+        clone.adopt(payloads)
+        (root,) = clone.roots
+        assert root.name == "root"
+        assert root.attributes == {"key": "v"}
+        assert root.children[0].volatile is True
+
+    def test_adopt_under_explicit_parent(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            with span("parent") as parent:
+                pass
+        tracer.adopt(
+            [{"name": "grafted", "attributes": {}, "children": []}],
+            parent=parent,
+        )
+        assert [c.name for c in parent.children] == ["grafted"]
+
+
+class TestMetrics:
+    def test_count_and_gauge_reach_the_active_tracer(self):
+        tracer = Tracer("t")
+        with tracer.activate():
+            count("hits")
+            count("hits", 2)
+            gauge("depth", 4)
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["counters"] == {"hits": 3}
+        assert snapshot["gauges"] == {"depth": 4}
+
+    def test_merge_adds_counters_and_updates_gauges(self):
+        registry = MetricsRegistry()
+        registry.count("hits", 1)
+        registry.gauge("depth", 1)
+        registry.merge({"counters": {"hits": 2, "new": 5}, "gauges": {"depth": 9}})
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"hits": 3, "new": 5}
+        assert snapshot["gauges"] == {"depth": 9}
+
+    def test_snapshot_is_sorted_and_detached(self):
+        registry = MetricsRegistry()
+        registry.count("zebra")
+        registry.count("alpha")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zebra"]
+        snapshot["counters"]["alpha"] = 99
+        assert registry.counter("alpha") == 1
+
+    def test_span_from_dict_defaults(self):
+        span_obj = Span.from_dict({"name": "bare"}, Tracer("t"))
+        assert span_obj.attributes == {}
+        assert span_obj.children == []
+        assert span_obj.volatile is False
