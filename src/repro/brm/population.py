@@ -59,6 +59,15 @@ class Population:
         self._facts: dict[str, set[tuple[Instance, Instance]]] = {
             f.name: set() for f in schema.fact_types
         }
+        # Lazy per-fact co-role lookup (instance -> co-fillers), tagged
+        # with the fact-mutation version so any add/remove invalidates
+        # it.  Forward state mapping calls :meth:`facts_of` once per
+        # instance per lexical-leg component; without the index each
+        # call scans the whole fact population (quadratic at scale).
+        self._facts_version = 0
+        self._co_index: dict[
+            str, tuple[int, tuple[dict, dict]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -97,12 +106,14 @@ class Population:
         self.add_instance(fact.first.player, first)
         self.add_instance(fact.second.player, second)
         self._facts[fact_name].add((first, second))
+        self._facts_version += 1
         return (first, second)
 
     def remove_fact(self, fact_name: str, first: Instance, second: Instance) -> None:
         """Remove one fact instance (object populations are untouched)."""
         try:
             self._facts[fact_name].remove((first, second))
+            self._facts_version += 1
         except KeyError:
             raise PopulationError(
                 f"fact {fact_name!r} has no instance ({first!r}, {second!r})"
@@ -169,12 +180,19 @@ class Population:
         """Co-role fillers linked to ``instance`` through the fact type."""
         fact = self.schema.fact_type(fact_name)
         position = fact.position_of(role_name)
-        other = 1 - position
-        return frozenset(
-            pair[other]
-            for pair in self._facts[fact_name]
-            if pair[position] == instance
-        )
+        cached = self._co_index.get(fact_name)
+        if cached is None or cached[0] != self._facts_version:
+            grouped: tuple[dict, dict] = ({}, {})
+            for pair in self._facts[fact_name]:
+                grouped[0].setdefault(pair[0], set()).add(pair[1])
+                grouped[1].setdefault(pair[1], set()).add(pair[0])
+            index = (
+                {k: frozenset(v) for k, v in grouped[0].items()},
+                {k: frozenset(v) for k, v in grouped[1].items()},
+            )
+            cached = (self._facts_version, index)
+            self._co_index[fact_name] = cached
+        return cached[1][position].get(instance, frozenset())
 
     def is_empty(self) -> bool:
         """True when no object type has any instance."""

@@ -13,6 +13,7 @@ loop of the paper's figure 1::
     python -m repro show conference.ridl --format dot > schema.dot
     python -m repro map conference.ridl --trace trace.json
     python -m repro profile conference.ridl --pipeline advise --top-k 10
+    python -m repro validate conference.ridl --backend sqlite --scale 10000
 
 ``map`` prints DDL; ``report`` writes the full artifact set (DDL for
 every dialect, forwards/backwards map report, transformation trace)
@@ -25,8 +26,20 @@ exits with code 5 when the result is degraded.  Exit codes are
 distinct per failure class: 0 success, 1 analysis found the schema
 unmappable (or ``lint`` found errors), 2 parse/usage errors, 3
 analysis failures, 4 mapping failures, 5 degraded best-effort
-success.  Every argument error — argparse's own and our option
-validation alike — prints a one-line message and exits 2.
+success (or ``validate`` falling back from an unavailable backend),
+6 ``validate`` found the mapped state invalid — a rule violated on a
+valid population, a non-empty round-trip diff, or a non-diagonal
+detection matrix.  Every argument error — argparse's own and our
+option validation alike — prints a one-line message and exits 2.
+
+``validate`` runs the empirical-losslessness harness
+(:mod:`repro.executor`): it generates a seeded valid population
+sized to ``--scale`` relational rows, forward-maps and bulk-loads it
+on ``--backend`` (``auto`` picks DuckDB, then SQLite, then the
+in-memory engine), executes every compiled lossless rule, round-trips
+the state, and (unless ``--no-inject``) replays one surgical
+violation per mutator kind to confirm the detection matrix is
+diagonal.  ``--format json`` prints the machine-readable report.
 
 ``--trace FILE`` (on ``map``/``report``/``advise``/``lint``/
 ``profile``) records the run with the tracing layer of
@@ -72,6 +85,7 @@ EXIT_USAGE = 2
 EXIT_ANALYSIS = 3
 EXIT_MAPPING = 4
 EXIT_DEGRADED = 5
+EXIT_INVALID = 6
 
 _NULL_CHOICES = {policy.name: policy for policy in NullPolicy}
 _SUBLINK_CHOICES = {policy.name: policy for policy in SublinkPolicy}
@@ -279,6 +293,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many aggregated spans to print (default 15)",
     )
     _add_trace_arguments(profile_cmd)
+
+    validate_cmd = commands.add_parser(
+        "validate",
+        help="run the empirical-losslessness harness on an execution "
+        "backend",
+    )
+    validate_cmd.add_argument("schema", type=Path)
+    _add_option_arguments(validate_cmd)
+    validate_cmd.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "duckdb", "sqlite", "memory"],
+        help="execution backend (auto: duckdb, then sqlite, then the "
+        "in-memory engine)",
+    )
+    validate_cmd.add_argument(
+        "--scale",
+        type=int,
+        default=1000,
+        metavar="ROWS",
+        help="target relational row count for the generated "
+        "population (default 1000)",
+    )
+    validate_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="population and injection seed (default 7)",
+    )
+    inject = validate_cmd.add_mutually_exclusive_group()
+    inject.add_argument(
+        "--inject",
+        dest="inject",
+        action="store_true",
+        default=True,
+        help="plan and replay surgical violations (default)",
+    )
+    inject.add_argument(
+        "--no-inject",
+        dest="inject",
+        action="store_false",
+        help="skip the injection/detection experiment",
+    )
+    validate_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    _add_trace_arguments(validate_cmd)
     return parser
 
 
@@ -437,6 +502,8 @@ def _dispatch(namespace: argparse.Namespace, out, tracer=None) -> int:
         return EXIT_OK
     if namespace.command == "profile":
         return _run_profile(namespace, out, tracer)
+    if namespace.command == "validate":
+        return _run_validate(namespace, out)
     raise RidlError(f"unknown command {namespace.command!r}")
 
 
@@ -468,6 +535,33 @@ def _run_profile(namespace: argparse.Namespace, out, tracer) -> int:
             parse(source), source=source, dialect=namespace.dialect
         )
     print(render_profile(tracer, top_k=namespace.top_k), file=out)
+    return EXIT_OK
+
+
+def _run_validate(namespace: argparse.Namespace, out) -> int:
+    """The ``validate`` subcommand: 0 ok, 5 fallback, 6 invalid."""
+    from repro.executor import run_validation
+
+    report = run_validation(
+        _load(namespace.schema),
+        _options_from(namespace),
+        backend=namespace.backend,
+        scale=namespace.scale,
+        seed=namespace.seed,
+        inject=namespace.inject,
+    )
+    if namespace.format == "json":
+        out.write(report.to_json())
+    else:
+        print(report.render(), file=out)
+    if not report.ok:
+        return EXIT_INVALID
+    if (
+        report.backend_requested != "auto"
+        and report.backend_used != report.backend_requested
+    ):
+        # The harness ran, but not where the user asked it to.
+        return EXIT_DEGRADED
     return EXIT_OK
 
 

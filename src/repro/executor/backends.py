@@ -1,0 +1,331 @@
+"""Execution backends: where the compiled checker queries run.
+
+Three interchangeable backends execute the validation harness:
+
+* :class:`DuckDBBackend` — the scale target.  ``duckdb`` is an
+  *optional* dependency: the module never imports it at the top
+  level, and :func:`resolve_backend` falls back when it is missing.
+* :class:`SqliteBackend` — the stdlib middle tier.  Always available,
+  runs the same SQL, so the compiled-query path is exercised on every
+  machine (and in the no-duckdb CI leg) without any install.
+* :class:`MemoryBackend` — the reference semantics.  Interprets each
+  compiled rule against :class:`repro.engine.database.Database`
+  exactly the way ``Database.check()`` would, which is what the
+  backend-parity property tests pin the SQL backends against.
+
+All backends report violations in the same normal form
+(:class:`Violation`: rule name, kind, violating-tuple count), so
+"identical violation sets" is a plain equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.engine.query import duplicates
+from repro.errors import RidlError
+from repro.executor.compile import CompiledRule
+from repro.executor.ddl import create_table_statements, index_statements
+from repro.relational.schema import RelationalSchema
+
+#: Preference order for ``--backend auto`` and for graceful fallback
+#: when an explicitly requested backend is unavailable.
+FALLBACK_ORDER = ("duckdb", "sqlite", "memory")
+
+
+class BackendUnavailableError(RidlError):
+    """The requested backend cannot run on this machine."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One violated rule, in the cross-backend normal form."""
+
+    rule: str
+    kind: str
+    relation: str
+    count: int
+    sample: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        shown = f" e.g. {self.sample[0]}" if self.sample else ""
+        return (
+            f"{self.rule} [{self.kind}] on {self.relation}: "
+            f"{self.count} violating tuple(s){shown}"
+        )
+
+
+def _sample(items: list) -> tuple[str, ...]:
+    return tuple(repr(item) for item in items[:3])
+
+
+class Backend:
+    """The backend interface the harness drives."""
+
+    name = "abstract"
+
+    def load_schema(
+        self, schema: RelationalSchema, *, enforce: bool = False
+    ) -> None:
+        """Create the relations (dropping any previous state)."""
+        raise NotImplementedError
+
+    def insert_rows(self, relation: str, rows: list[dict]) -> None:
+        raise NotImplementedError
+
+    def finish_load(self) -> None:
+        """Called once after the last ``insert_rows`` of a bulk load."""
+
+    def rows(self, relation: str) -> list[dict]:
+        """All rows of a relation as attribute dicts."""
+        raise NotImplementedError
+
+    def count_rows(self, relation: str) -> int:
+        raise NotImplementedError
+
+    def run_rule(self, rule: CompiledRule) -> Violation | None:
+        """Execute one checker; ``None`` when the rule holds."""
+        raise NotImplementedError
+
+    def check(self, rules: tuple[CompiledRule, ...]) -> list[Violation]:
+        """Run every checker, returning the violated ones in order."""
+        found = []
+        for rule in rules:
+            violation = self.run_rule(rule)
+            if violation is not None:
+                found.append(violation)
+        return found
+
+    def close(self) -> None:
+        """Release any resources (idempotent)."""
+
+
+class MemoryBackend(Backend):
+    """The in-memory ``repro.engine`` executor as a backend.
+
+    Compiled rules are *interpreted* over the engine's tables with
+    the engine's own two-valued semantics — no SQL involved — so this
+    backend is the semantic reference the SQL backends must match.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self.database: Database | None = None
+
+    def load_schema(
+        self, schema: RelationalSchema, *, enforce: bool = False
+    ) -> None:
+        self.database = Database(schema)
+
+    def insert_rows(self, relation: str, rows: list[dict]) -> None:
+        self.database.insert_many(relation, rows)
+
+    def rows(self, relation: str) -> list[dict]:
+        return self.database.rows(relation)
+
+    def count_rows(self, relation: str) -> int:
+        return self.database.count(relation)
+
+    def run_rule(self, rule: CompiledRule) -> Violation | None:
+        database = self.database
+        constraint = rule.constraint
+        if rule.kind == "not-null":
+            bad = [
+                row
+                for row in database.rows(rule.relation)
+                if row.get(rule.column) is None
+            ]
+        elif rule.kind in ("primary-key", "candidate-key"):
+            bad = duplicates(
+                database.rows(rule.relation), constraint.columns
+            )
+        elif rule.kind == "foreign-key":
+            referenced = {
+                tuple(row.get(c) for c in constraint.referenced_columns)
+                for row in database.rows(constraint.referenced_relation)
+            }
+            bad = [
+                row
+                for row in database.rows(rule.relation)
+                if None
+                not in (key := tuple(row.get(c) for c in constraint.columns))
+                and key not in referenced
+            ]
+        elif rule.kind == "check":
+            bad = [
+                row
+                for row in database.rows(rule.relation)
+                if not constraint.predicate.evaluate(row)
+            ]
+        elif rule.kind == "equality-view":
+            left = database.evaluate_select(constraint.left)
+            right = database.evaluate_select(constraint.right)
+            bad = sorted(left ^ right, key=repr)
+        else:  # subset-view
+            subset = database.evaluate_select(constraint.subset)
+            superset = database.evaluate_select(constraint.superset)
+            bad = sorted(subset - superset, key=repr)
+        if not bad:
+            return None
+        return Violation(
+            rule.name, rule.kind, rule.relation, len(bad), _sample(bad)
+        )
+
+
+class _SqlBackend(Backend):
+    """Shared machinery for the DB-API backends (``?`` placeholders)."""
+
+    def __init__(self) -> None:
+        self._connection = None
+        self._schema: RelationalSchema | None = None
+
+    def _connect(self):
+        raise NotImplementedError
+
+    def load_schema(
+        self, schema: RelationalSchema, *, enforce: bool = False
+    ) -> None:
+        self.close()
+        self._schema = schema
+        self._connection = self._connect()
+        for statement in create_table_statements(schema, enforce=enforce):
+            self._connection.execute(statement)
+
+    def insert_rows(self, relation: str, rows: list[dict]) -> None:
+        columns = self._schema.relation(relation).attribute_names
+        placeholders = ", ".join("?" for _ in columns)
+        statement = (
+            f"INSERT INTO {relation} ({', '.join(columns)}) "
+            f"VALUES ({placeholders})"
+        )
+        parameters = [
+            tuple(row.get(column) for column in columns) for row in rows
+        ]
+        if parameters:
+            self._connection.executemany(statement, parameters)
+
+    def finish_load(self) -> None:
+        # Index every declared key after the bulk load: the FK
+        # checkers' correlated NOT EXISTS probes are table scans
+        # without them (quadratic at harness scales).
+        for statement in index_statements(self._schema):
+            self._connection.execute(statement)
+
+    def rows(self, relation: str) -> list[dict]:
+        columns = self._schema.relation(relation).attribute_names
+        cursor = self._connection.execute(
+            f"SELECT {', '.join(columns)} FROM {relation}"
+        )
+        return [dict(zip(columns, values)) for values in cursor.fetchall()]
+
+    def count_rows(self, relation: str) -> int:
+        cursor = self._connection.execute(
+            f"SELECT COUNT(*) FROM {relation}"
+        )
+        return cursor.fetchall()[0][0]
+
+    def run_rule(self, rule: CompiledRule) -> Violation | None:
+        cursor = self._connection.execute(rule.sql)
+        bad = cursor.fetchall()
+        if not bad:
+            return None
+        return Violation(
+            rule.name, rule.kind, rule.relation, len(bad), _sample(bad)
+        )
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+class SqliteBackend(_SqlBackend):
+    """In-memory SQLite (stdlib ``sqlite3``)."""
+
+    name = "sqlite"
+
+    def _connect(self):
+        import sqlite3
+
+        return sqlite3.connect(":memory:")
+
+
+class DuckDBBackend(_SqlBackend):
+    """In-memory DuckDB — the 1e5+-row scale target."""
+
+    name = "duckdb"
+
+    def _connect(self):
+        try:
+            import duckdb
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise BackendUnavailableError(
+                "the duckdb package is not installed"
+            ) from exc
+        return duckdb.connect(":memory:")
+
+
+BACKENDS: dict[str, type[Backend]] = {
+    "memory": MemoryBackend,
+    "sqlite": SqliteBackend,
+    "duckdb": DuckDBBackend,
+}
+
+
+def duckdb_available() -> bool:
+    """True when the optional ``duckdb`` package can be imported."""
+    try:
+        import duckdb  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names that can run on this machine."""
+    return tuple(
+        name
+        for name in FALLBACK_ORDER
+        if name != "duckdb" or duckdb_available()
+    )
+
+
+@dataclass(frozen=True)
+class ResolvedBackend:
+    """What :func:`resolve_backend` decided, for the report."""
+
+    backend: Backend
+    requested: str
+    used: str
+    note: str | None = None
+
+
+def resolve_backend(name: str = "auto") -> ResolvedBackend:
+    """Instantiate a backend, falling back gracefully.
+
+    ``auto`` picks the first available of :data:`FALLBACK_ORDER`.  An
+    explicitly requested but unavailable backend degrades to the next
+    available one with an explanatory note — the harness still runs,
+    the report records what actually executed.
+    """
+    if name != "auto" and name not in BACKENDS:
+        raise RidlError(
+            f"unknown backend {name!r}; choose from "
+            f"{', '.join(('auto',) + tuple(BACKENDS))}"
+        )
+    usable = available_backends()
+    if name == "auto":
+        used = usable[0]
+        note = None
+    elif name in usable:
+        used = name
+        note = None
+    else:
+        used = usable[0]
+        note = (
+            f"backend {name!r} is unavailable "
+            f"(duckdb not installed); fell back to {used!r}"
+        )
+    return ResolvedBackend(BACKENDS[used](), name, used, note)

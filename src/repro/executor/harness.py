@@ -1,0 +1,373 @@
+"""The end-to-end validation harness: losslessness, empirically.
+
+Three experiments over one mapped schema and one generated
+population, all on a pluggable backend:
+
+1. **Check** — forward-map the population, bulk-load it, run every
+   compiled lossless rule: a valid state must violate nothing.
+2. **Round-trip** — read the loaded rows back out of the backend,
+   rebuild the database state, and map it backwards: the
+   reconstructed population must equal the canonical original, and
+   the re-forwarded database must equal what was loaded (Definition 2
+   of the paper, now through a real SQL engine instead of symbolic
+   state).
+3. **Inject & detect** — plan one surgical violation per mutator
+   kind (:mod:`repro.robustness.violations`), replay each mutated
+   dataset on the backend, and record the *detection matrix*: which
+   rules fired for which injection.  Losslessness in the negative:
+   the matrix must be exactly diagonal — every injection is caught by
+   its target rule and by no other.
+
+Everything is seeded and instrumented (``executor.*`` spans and
+counters), and the result is a machine-readable
+:class:`ValidationReport` the ``repro validate`` CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.brm.schema import BinarySchema
+from repro.engine.database import Database
+from repro.executor.backends import (
+    Backend,
+    ResolvedBackend,
+    resolve_backend,
+)
+from repro.executor.compile import CompiledRule, compile_rules
+from repro.mapper import MappingOptions, map_schema
+from repro.observability.tracer import count as _obs_count
+from repro.observability.tracer import span as _obs_span
+from repro.robustness.violations import (
+    MUTATOR_KINDS,
+    Injection,
+    plan_injections,
+)
+from repro.workloads.populations import generate_bulk_population
+
+Dataset = dict[str, list[dict]]
+
+
+def dataset_of(database: Database) -> Dataset:
+    """The database's tables as a plain loadable dataset."""
+    return {
+        relation.name: database.rows(relation.name)
+        for relation in database.schema.relations
+    }
+
+
+def load_dataset(backend: Backend, schema, dataset: Dataset, *,
+                 enforce: bool = False) -> int:
+    """Create the tables and bulk-load every relation; returns rows."""
+    loaded = 0
+    with _obs_span("executor.load", backend=backend.name):
+        backend.load_schema(schema, enforce=enforce)
+        for relation, rows in dataset.items():
+            backend.insert_rows(relation, rows)
+            loaded += len(rows)
+        backend.finish_load()
+        _obs_count("executor.rows_loaded", loaded)
+    return loaded
+
+
+@dataclass
+class MatrixRow:
+    """One injection replayed on one backend."""
+
+    kind: str
+    rule: str
+    relation: str
+    description: str
+    detected: tuple[str, ...]
+
+    @property
+    def diagonal(self) -> bool:
+        return self.detected == (self.rule,)
+
+
+@dataclass
+class DetectionMatrix:
+    """The injection-by-rule detection matrix of one backend."""
+
+    backend: str
+    rows: list[MatrixRow] = field(default_factory=list)
+    skipped_kinds: tuple[str, ...] = ()
+
+    @property
+    def diagonal(self) -> bool:
+        return all(row.diagonal for row in self.rows)
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "diagonal": self.diagonal,
+            "skipped_kinds": list(self.skipped_kinds),
+            "rows": [
+                {
+                    "kind": row.kind,
+                    "rule": row.rule,
+                    "relation": row.relation,
+                    "description": row.description,
+                    "detected": list(row.detected),
+                    "diagonal": row.diagonal,
+                }
+                for row in self.rows
+            ],
+        }
+
+
+def detection_matrix(
+    backend: Backend,
+    schema,
+    rules: tuple[CompiledRule, ...],
+    injections: list[Injection],
+    *,
+    skipped_kinds: tuple[str, ...] = (),
+) -> DetectionMatrix:
+    """Replay planned injections on a backend, one at a time."""
+    matrix = DetectionMatrix(backend.name, skipped_kinds=skipped_kinds)
+    with _obs_span(
+        "executor.inject", backend=backend.name, injections=len(injections)
+    ):
+        for injection in injections:
+            load_dataset(backend, schema, injection.dataset)
+            detected = tuple(
+                sorted({v.rule for v in backend.check(rules)})
+            )
+            _obs_count("executor.violations", len(detected))
+            matrix.rows.append(
+                MatrixRow(
+                    injection.kind,
+                    injection.rule,
+                    injection.relation,
+                    injection.description,
+                    detected,
+                )
+            )
+    return matrix
+
+
+@dataclass
+class ValidationReport:
+    """The machine-readable outcome of one harness run."""
+
+    schema: str
+    backend_requested: str
+    backend_used: str
+    backend_note: str | None
+    seed: int
+    scale: int
+    rows_loaded: int
+    rule_counts: dict[str, int]
+    violations_on_valid: tuple[str, ...]
+    round_trip_ok: bool
+    round_trip_diff: dict[str, int]
+    matrix: DetectionMatrix | None
+    load_s: float
+    check_s: float
+    round_trip_s: float
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.violations_on_valid
+            and self.round_trip_ok
+            and (self.matrix is None or self.matrix.diagonal)
+        )
+
+    def _rate(self, seconds: float) -> float:
+        return self.rows_loaded / seconds if seconds > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "ok": self.ok,
+            "backend": {
+                "requested": self.backend_requested,
+                "used": self.backend_used,
+                "note": self.backend_note,
+            },
+            "seed": self.seed,
+            "scale": self.scale,
+            "rows_loaded": self.rows_loaded,
+            "rules": self.rule_counts,
+            "violations_on_valid": list(self.violations_on_valid),
+            "round_trip": {
+                "ok": self.round_trip_ok,
+                "diff": self.round_trip_diff,
+            },
+            "matrix": None if self.matrix is None else self.matrix.as_dict(),
+            "timings": {
+                "load_s": round(self.load_s, 6),
+                "check_s": round(self.check_s, 6),
+                "round_trip_s": round(self.round_trip_s, 6),
+                "load_rows_per_s": round(self._rate(self.load_s), 1),
+                "check_rows_per_s": round(self._rate(self.check_s), 1),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        lines = [
+            f"validation of {self.schema!r} "
+            f"on backend {self.backend_used!r} "
+            f"(requested {self.backend_requested!r})",
+        ]
+        if self.backend_note:
+            lines.append(f"  note: {self.backend_note}")
+        lines.append(
+            f"  loaded {self.rows_loaded} rows "
+            f"({self._rate(self.load_s):,.0f} rows/s), "
+            f"checked {sum(self.rule_counts.values())} rules "
+            f"({self._rate(self.check_s):,.0f} rows/s)"
+        )
+        lines.append(
+            "  valid state: "
+            + (
+                "no rule violated"
+                if not self.violations_on_valid
+                else f"VIOLATED {sorted(self.violations_on_valid)}"
+            )
+        )
+        lines.append(
+            "  round trip: "
+            + (
+                "empty diff"
+                if self.round_trip_ok
+                else f"DIFF {self.round_trip_diff}"
+            )
+        )
+        if self.matrix is not None:
+            lines.append(
+                f"  detection matrix: "
+                f"{len(self.matrix.rows)} injections, "
+                + ("diagonal" if self.matrix.diagonal else "NOT diagonal")
+            )
+            for row in self.matrix.rows:
+                mark = "ok" if row.diagonal else "MISMATCH"
+                lines.append(
+                    f"    {row.kind:20} -> {row.rule:24} "
+                    f"detected={list(row.detected)} [{mark}]"
+                )
+            if self.matrix.skipped_kinds:
+                lines.append(
+                    "    (no surgical site for: "
+                    + ", ".join(self.matrix.skipped_kinds)
+                    + ")"
+                )
+        lines.append(f"  result: {'OK' if self.ok else 'INVALID'}")
+        return "\n".join(lines)
+
+
+def run_validation(
+    schema: BinarySchema,
+    options: MappingOptions | None = None,
+    *,
+    backend: str = "auto",
+    scale: int = 1000,
+    seed: int = 7,
+    inject: bool = True,
+    resolved: ResolvedBackend | None = None,
+) -> ValidationReport:
+    """Run the full harness on one schema under one option set."""
+    with _obs_span(
+        "executor.validate", schema=schema.name, backend=backend, scale=scale
+    ):
+        result = map_schema(schema, options or MappingOptions())
+        rules = compile_rules(result.relational)
+        population = generate_bulk_population(
+            schema, target_rows=scale, seed=seed
+        )
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        database = result.state_map.forward(canonical)
+        dataset = dataset_of(database)
+        if resolved is None:
+            resolved = resolve_backend(backend)
+        runner = resolved.backend
+        try:
+            started = perf_counter()
+            rows_loaded = load_dataset(runner, result.relational, dataset)
+            load_s = perf_counter() - started
+
+            started = perf_counter()
+            with _obs_span("executor.check", backend=runner.name,
+                           rules=len(rules)):
+                valid_violations = tuple(
+                    sorted({v.rule for v in runner.check(rules)})
+                )
+            check_s = perf_counter() - started
+
+            started = perf_counter()
+            with _obs_span("executor.roundtrip", backend=runner.name):
+                round_trip_ok, diff = _round_trip(
+                    runner, result, database, canonical
+                )
+            round_trip_s = perf_counter() - started
+
+            matrix = None
+            skipped: tuple[str, ...] = ()
+            if inject:
+                injections = plan_injections(
+                    result.relational, rules, dataset, seed=seed
+                )
+                planned = {injection.kind for injection in injections}
+                skipped = tuple(
+                    kind for kind in MUTATOR_KINDS if kind not in planned
+                )
+                matrix = detection_matrix(
+                    runner, result.relational, rules, injections,
+                    skipped_kinds=skipped,
+                )
+        finally:
+            runner.close()
+        rule_counts: dict[str, int] = {}
+        for rule in rules:
+            rule_counts[rule.kind] = rule_counts.get(rule.kind, 0) + 1
+        return ValidationReport(
+            schema=schema.name,
+            backend_requested=resolved.requested,
+            backend_used=resolved.used,
+            backend_note=resolved.note,
+            seed=seed,
+            scale=scale,
+            rows_loaded=rows_loaded,
+            rule_counts=rule_counts,
+            violations_on_valid=valid_violations,
+            round_trip_ok=round_trip_ok,
+            round_trip_diff=diff,
+            matrix=matrix,
+            load_s=load_s,
+            check_s=check_s,
+            round_trip_s=round_trip_s,
+        )
+
+
+def _round_trip(
+    backend: Backend, result, database: Database, canonical
+) -> tuple[bool, dict[str, int]]:
+    """Query the loaded state back and diff it against the original.
+
+    The diff counts, per relation, the rows that changed across the
+    backend boundary (symmetric difference of tuple sets); on an
+    empty diff the reconstruction is additionally mapped backwards
+    and compared to the canonical population.
+    """
+    diff: dict[str, int] = {}
+    rebuilt = Database(database.schema)
+    for relation in database.schema.relations:
+        rebuilt.insert_many(relation.name, backend.rows(relation.name))
+    original = database.as_dict()
+    readback = rebuilt.as_dict()
+    for name, rows in original.items():
+        delta = len(rows ^ readback[name])
+        if delta:
+            diff[name] = delta
+    if diff:
+        return False, diff
+    if result.state_map.backward(rebuilt) != canonical:
+        return False, {"<population>": 1}
+    return True, {}

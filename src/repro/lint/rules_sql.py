@@ -101,3 +101,36 @@ def check_reserved_word(context):
                 f"{namespace} name is a reserved word of "
                 f"{context.profile.name}"
             )
+
+
+@lint_rule("SQL205", "checker-identifier-unportable", Severity.WARNING)
+def check_checker_identifier_unportable(context):
+    """A lossless rule's checker query uses an unportable identifier.
+
+    The validation harness (:mod:`repro.executor`) compiles every
+    lossless rule into an executable checker query.  A query that
+    references a relation or column name the selected dialect would
+    truncate or treat as a reserved word cannot run there unquoted —
+    the rule would be silently unenforceable on that target.
+    """
+    from repro.executor.compile import compile_rules
+
+    schema = context.result.relational
+    known = {name for _, name in _identifiers(context.result)}
+    limit = context.profile.max_identifier_length
+    reserved = context.profile.reserved_words
+    for rule in compile_rules(schema):
+        referenced = set(
+            re.findall(r"[A-Za-z][A-Za-z0-9_$#]*", rule.sql)
+        )
+        offending = sorted(
+            name
+            for name in referenced & known
+            if len(name) > limit or name.upper() in reserved
+        )
+        if offending:
+            yield rule.name, (
+                f"checker query references identifiers "
+                f"{context.profile.name} would truncate or reserve: "
+                f"{', '.join(offending)}"
+            )

@@ -29,6 +29,12 @@ from repro.robustness.health import (
     QuarantinedRule,
     RolledBackStep,
 )
+from repro.robustness.violations import (
+    MUTATOR_KINDS,
+    MUTATORS,
+    Injection,
+    plan_injections,
+)
 
 __all__ = [
     "Checkpoint",
@@ -39,6 +45,10 @@ __all__ = [
     "GuardedExecutor",
     "HealthReport",
     "INJECTOR",
+    "Injection",
+    "MUTATORS",
+    "MUTATOR_KINDS",
+    "plan_injections",
     "QuarantinedRule",
     "RecoveryMode",
     "RolledBackStep",

@@ -1,0 +1,401 @@
+"""Seeded violation mutators — the negative side of losslessness.
+
+:mod:`repro.robustness.faults` breaks the *mapper*; this sibling
+breaks the *data*.  For every lossless-rule kind there is one
+deterministic, seeded mutator that takes a valid relational dataset
+(``relation name -> list of row dicts``) and produces a minimally
+mutated copy violating exactly one target rule:
+
+=====================  ============================================
+mutator kind           injected defect
+=====================  ============================================
+``null-breach``        NULL in a mandatory column
+``duplicate-key``      a second row under a primary/candidate key
+``orphan-foreign-key`` a referencing tuple with no referenced match
+``check-breach``       a row falsifying a CHECK predicate
+                       (value restriction, dependent/equal
+                       existence, ...)
+``equality-asymmetry`` one side of a C_EQ$ pair gains a tuple the
+                       other side lacks
+``subset-leak``        a C_SUB$ subset tuple that escapes the
+                       superset view
+=====================  ============================================
+
+Surgical injection is *searched*, not assumed: the lossless rules
+overlap (a sub-relation's key columns are simultaneously its primary
+key, a foreign key source and one side of an equality view), so each
+mutator enumerates candidate mutation sites in a seeded deterministic
+order and the planner keeps the first candidate whose full-rule check
+flags the target rule *and nothing else*.  That check runs on the
+in-memory reference backend; the detection matrix then replays the
+accepted injections on the SQL backends, where diagonality is an
+empirical result rather than a construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.brm.datatypes import DataTypeKind
+from repro.relational.constraints import SelectSpec
+from repro.relational.schema import RelationalSchema
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid the cycle
+    # robustness -> executor -> harness -> mapper -> robustness
+    from repro.executor.compile import CompiledRule
+
+#: Mutator kind -> the compiled-rule kinds it targets, in plan order.
+MUTATOR_KINDS: dict[str, tuple[str, ...]] = {
+    "null-breach": ("not-null",),
+    "duplicate-key": ("primary-key", "candidate-key"),
+    "orphan-foreign-key": ("foreign-key",),
+    "check-breach": ("check",),
+    "equality-asymmetry": ("equality-view",),
+    "subset-leak": ("subset-view",),
+}
+
+#: Candidate mutation sites examined per rule before giving up.
+MAX_CANDIDATES = 48
+
+Dataset = dict[str, list[dict]]
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One accepted violation: a mutated dataset plus its target."""
+
+    kind: str
+    rule: str
+    rule_kind: str
+    relation: str
+    description: str
+    dataset: Dataset
+
+
+def copy_dataset(dataset: Dataset) -> Dataset:
+    """An independent row-level copy."""
+    return {name: [dict(row) for row in rows] for name, rows in dataset.items()}
+
+
+def fresh_value(
+    schema: RelationalSchema,
+    relation: str,
+    column: str,
+    dataset: Dataset,
+    offset: int,
+):
+    """A value of the column's type appearing nowhere in the dataset.
+
+    Typed (integers for integer-like numerics, floats for scaled
+    ones, strings otherwise) so the SQL backends accept it into the
+    column, and globally fresh so it cannot accidentally match a
+    referenced key or a view tuple elsewhere.
+    """
+    datatype = schema.domain(
+        schema.relation(relation).attribute(column).domain
+    ).datatype
+    everywhere = {
+        value
+        for rows in dataset.values()
+        for row in rows
+        for value in row.values()
+        if value is not None
+    }
+    if datatype.kind in (DataTypeKind.NUMERIC, DataTypeKind.INTEGER,
+                         DataTypeKind.SMALLINT, DataTypeKind.REAL):
+        scaled = (
+            datatype.kind is DataTypeKind.REAL
+            or (datatype.kind is DataTypeKind.NUMERIC
+                and datatype.scale is not None)
+        )
+        candidate = 900000 + offset
+        while candidate in everywhere or float(candidate) in everywhere:
+            candidate += 1
+        return float(candidate) + 0.5 if scaled else candidate
+    candidate = f"viol_{offset}"
+    while candidate in everywhere:
+        candidate = candidate + "x"
+    return candidate
+
+
+def _row_order(rows: list[dict], rng: random.Random) -> list[int]:
+    """A seeded deterministic visiting order over row indices."""
+    indices = list(range(len(rows)))
+    rng.shuffle(indices)
+    return indices
+
+
+def _other_key_columns(
+    schema: RelationalSchema, relation: str, pinned: tuple[str, ...]
+) -> list[str]:
+    """Key columns of the relation outside the pinned column set."""
+    columns: list[str] = []
+    for key in schema.keys_of(relation):
+        if tuple(key) == tuple(pinned):
+            continue
+        for column in key:
+            if column not in pinned and column not in columns:
+                columns.append(column)
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# One candidate generator per mutator kind.  Each yields
+# ``(dataset, description)`` pairs in a seeded deterministic order;
+# the planner verifies them for surgical-ness.
+# ---------------------------------------------------------------------------
+
+
+def _null_breach(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
+    rows = dataset.get(rule.relation, [])
+    for index in _row_order(rows, rng):
+        mutated = copy_dataset(dataset)
+        mutated[rule.relation][index][rule.column] = None
+        yield mutated, (
+            f"set {rule.relation}[{index}].{rule.column} to NULL"
+        )
+
+
+def _duplicate_key(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
+    constraint = rule.constraint
+    rows = dataset.get(rule.relation, [])
+    others = _other_key_columns(schema, rule.relation, constraint.columns)
+    for index in _row_order(rows, rng):
+        base = rows[index]
+        if any(base.get(c) is None for c in constraint.columns):
+            continue
+        # (a) re-insert the row with every *other* key freshened, so
+        # only the target key collides.
+        clone = dict(base)
+        for offset, column in enumerate(others):
+            clone[column] = fresh_value(
+                schema, rule.relation, column, dataset, offset
+            )
+        mutated = copy_dataset(dataset)
+        mutated[rule.relation].append(clone)
+        yield mutated, (
+            f"duplicated {rule.relation}[{index}] under key "
+            f"({', '.join(constraint.columns)})"
+        )
+        # (b) a verbatim duplicate (surgical when the relation has a
+        # single key and no set-valued semantics elsewhere).
+        mutated = copy_dataset(dataset)
+        mutated[rule.relation].append(dict(base))
+        yield mutated, f"re-inserted {rule.relation}[{index}] verbatim"
+    # (c) overwrite another row's key with this row's key values.
+    for index in _row_order(rows, rng):
+        base = rows[index]
+        if any(base.get(c) is None for c in constraint.columns):
+            continue
+        for victim in _row_order(rows, rng):
+            if victim == index:
+                continue
+            mutated = copy_dataset(dataset)
+            for column in constraint.columns:
+                mutated[rule.relation][victim][column] = base[column]
+            yield mutated, (
+                f"overwrote {rule.relation}[{victim}] key with "
+                f"{rule.relation}[{index}]'s"
+            )
+            break
+
+
+def _orphan_foreign_key(
+    schema, rule, dataset, rng
+) -> Iterator[tuple[Dataset, str]]:
+    constraint = rule.constraint
+    rows = dataset.get(rule.relation, [])
+    others = _other_key_columns(schema, rule.relation, constraint.columns)
+    for index in _row_order(rows, rng):
+        base = rows[index]
+        # (a) a new row whose FK columns reference nothing; other keys
+        # freshened so no key rule fires alongside.
+        clone = dict(base)
+        for offset, column in enumerate(constraint.columns):
+            clone[column] = fresh_value(
+                schema, rule.relation, column, dataset, offset
+            )
+        for offset, column in enumerate(others, start=len(constraint.columns)):
+            clone[column] = fresh_value(
+                schema, rule.relation, column, dataset, offset
+            )
+        mutated = copy_dataset(dataset)
+        mutated[rule.relation].append(clone)
+        yield mutated, (
+            f"inserted {rule.relation} row with unmatched "
+            f"({', '.join(constraint.columns)})"
+        )
+        # (b) redirect an existing row's FK to a fresh target.
+        mutated = copy_dataset(dataset)
+        for offset, column in enumerate(constraint.columns):
+            mutated[rule.relation][index][column] = fresh_value(
+                schema, rule.relation, column, dataset, offset
+            )
+        yield mutated, (
+            f"redirected {rule.relation}[{index}] "
+            f"({', '.join(constraint.columns)}) to a fresh target"
+        )
+
+
+def _check_breach(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
+    predicate = rule.constraint.predicate
+    rows = dataset.get(rule.relation, [])
+    for index in _row_order(rows, rng):
+        base = rows[index]
+        for column in sorted(predicate.columns()):
+            for value in (
+                None,
+                fresh_value(schema, rule.relation, column, dataset, 0),
+            ):
+                candidate = dict(base)
+                candidate[column] = value
+                if predicate.evaluate(candidate):
+                    continue  # still satisfied — not a breach
+                mutated = copy_dataset(dataset)
+                mutated[rule.relation][index] = candidate
+                yield mutated, (
+                    f"set {rule.relation}[{index}].{column} to "
+                    f"{value!r}, falsifying the CHECK"
+                )
+
+
+def _spec_mutations(
+    schema, spec: SelectSpec, dataset, rng
+) -> Iterator[tuple[Dataset, str]]:
+    """Datasets where ``spec``'s tuple set gains a fresh member."""
+    rows = dataset.get(spec.relation, [])
+    for index in _row_order(rows, rng):
+        base = rows[index]
+        candidate = dict(base)
+        for offset, column in enumerate(spec.columns):
+            candidate[column] = fresh_value(
+                schema, spec.relation, column, dataset, offset
+            )
+        if spec.where is not None and not spec.where.evaluate(candidate):
+            continue
+        # (a) in-place: the row now projects to a fresh tuple.
+        mutated = copy_dataset(dataset)
+        mutated[spec.relation][index] = candidate
+        yield mutated, (
+            f"rewrote {spec.relation}[{index}] "
+            f"({', '.join(spec.columns)}) to a fresh tuple"
+        )
+        # (b) as a new row (other keys freshened to stay surgical).
+        clone = dict(candidate)
+        for offset, column in enumerate(
+            _other_key_columns(schema, spec.relation, spec.columns),
+            start=len(spec.columns),
+        ):
+            clone[column] = fresh_value(
+                schema, spec.relation, column, dataset, offset
+            )
+        mutated = copy_dataset(dataset)
+        mutated[spec.relation].append(clone)
+        yield mutated, (
+            f"inserted a {spec.relation} row projecting to a fresh "
+            f"({', '.join(spec.columns)}) tuple"
+        )
+
+
+def _equality_asymmetry(
+    schema, rule, dataset, rng
+) -> Iterator[tuple[Dataset, str]]:
+    constraint = rule.constraint
+    for spec, side in ((constraint.right, "right"), (constraint.left, "left")):
+        for mutated, description in _spec_mutations(
+            schema, spec, dataset, rng
+        ):
+            yield mutated, f"[{side} side] {description}"
+
+
+def _subset_leak(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
+    constraint = rule.constraint
+    # (a/b) the subset side gains a tuple the superset lacks.
+    yield from _spec_mutations(schema, constraint.subset, dataset, rng)
+    # (c) a superset witness disappears, stranding a subset tuple.
+    spec = constraint.superset
+    rows = dataset.get(spec.relation, [])
+    for index in _row_order(rows, rng):
+        row = rows[index]
+        if spec.where is not None and not spec.where.evaluate(row):
+            continue
+        mutated = copy_dataset(dataset)
+        del mutated[spec.relation][index]
+        yield mutated, (
+            f"deleted superset witness {spec.relation}[{index}]"
+        )
+
+
+MUTATORS: dict[str, Callable] = {
+    "null-breach": _null_breach,
+    "duplicate-key": _duplicate_key,
+    "orphan-foreign-key": _orphan_foreign_key,
+    "check-breach": _check_breach,
+    "equality-asymmetry": _equality_asymmetry,
+    "subset-leak": _subset_leak,
+}
+
+
+def default_verifier(
+    schema: RelationalSchema, rules: tuple[CompiledRule, ...]
+) -> Callable[[Dataset], set[str]]:
+    """A full-rule checker on the in-memory reference backend."""
+    from repro.executor.backends import MemoryBackend
+
+    def verify(dataset: Dataset) -> set[str]:
+        backend = MemoryBackend()
+        backend.load_schema(schema)
+        for relation, rows in dataset.items():
+            backend.insert_rows(relation, rows)
+        return {violation.rule for violation in backend.check(rules)}
+
+    return verify
+
+
+def plan_injections(
+    schema: RelationalSchema,
+    rules: tuple[CompiledRule, ...],
+    dataset: Dataset,
+    *,
+    seed: int = 7,
+    verify: Callable[[Dataset], set[str]] | None = None,
+    kinds: tuple[str, ...] | None = None,
+) -> list[Injection]:
+    """One surgical injection per mutator kind, where plannable.
+
+    For each kind, candidate rules are visited in name order and
+    candidate mutations in seeded order; the first mutated dataset
+    whose verified violation set is exactly ``{rule}`` is accepted.
+    Kinds whose rules admit no surgical site (or that have no rules
+    in this schema) are skipped — the harness reports them.
+    """
+    if verify is None:
+        verify = default_verifier(schema, rules)
+    injections: list[Injection] = []
+    for kind in kinds or tuple(MUTATOR_KINDS):
+        targets = sorted(
+            (r for r in rules if r.kind in MUTATOR_KINDS[kind]),
+            key=lambda r: r.name,
+        )
+        accepted = None
+        for rule in targets:
+            rng = random.Random((seed, kind, rule.name).__repr__())
+            candidates = MUTATORS[kind](schema, rule, dataset, rng)
+            for _ in range(MAX_CANDIDATES):
+                pair = next(candidates, None)
+                if pair is None:
+                    break
+                mutated, description = pair
+                if verify(mutated) == {rule.name}:
+                    accepted = Injection(
+                        kind, rule.name, rule.kind, rule.relation,
+                        description, mutated,
+                    )
+                    break
+            if accepted is not None:
+                break
+        if accepted is not None:
+            injections.append(accepted)
+    return injections

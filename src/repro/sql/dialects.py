@@ -111,6 +111,26 @@ DB2 = DialectProfile(
     reserved_words=CORE_RESERVED_WORDS | frozenset(("PLAN", "USER")),
 )
 
+DUCKDB = DialectProfile(
+    name="DuckDB",
+    supports_domains=False,
+    supports_named_constraints=True,
+    supports_check=True,
+    supports_foreign_keys=True,
+    type_overrides=(
+        (DataTypeKind.BOOLEAN, "CHAR(1)"),
+        (DataTypeKind.DATE, "VARCHAR(10)"),
+    ),
+    max_identifier_length=128,
+    reserved_words=CORE_RESERVED_WORDS
+    | frozenset(("COLUMNS", "DESCRIBE", "PIVOT", "SUMMARIZE", "UNPIVOT")),
+)
+
+#: Dialects the paper-style emitter targets.  The executor's DuckDB
+#: profile lives outside this dict on purpose: ``repro report`` keeps
+#: emitting exactly the paper's 1989-era dialect set, while the
+#: executable-DDL path of :mod:`repro.executor` reuses the profile's
+#: identifier rules and type overrides.
 PROFILES: dict[str, DialectProfile] = {
     "sql2": SQL2,
     "oracle": ORACLE,

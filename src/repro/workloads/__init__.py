@@ -1,6 +1,14 @@
 """Workload generators for scale experiments and property tests."""
 
 from repro.workloads.generator import SchemaShape, generate_schema
-from repro.workloads.populations import generate_population
+from repro.workloads.populations import (
+    generate_bulk_population,
+    generate_population,
+)
 
-__all__ = ["SchemaShape", "generate_population", "generate_schema"]
+__all__ = [
+    "SchemaShape",
+    "generate_bulk_population",
+    "generate_population",
+    "generate_schema",
+]

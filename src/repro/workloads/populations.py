@@ -23,10 +23,40 @@ from __future__ import annotations
 
 import random
 
+from repro.brm.datatypes import DataType, DataTypeKind
 from repro.brm.facts import RoleId
 from repro.brm.population import Population
 from repro.brm.schema import BinarySchema
 from repro.brm.sublinks import SublinkRef
+from repro.observability.tracer import span as _obs_span
+
+#: Data-type families whose filler values are Python numbers rather
+#: than strings — required for the SQL execution backends, whose
+#: typed columns reject (or worse, coerce) mistyped values.
+_INTEGER_KINDS = (
+    DataTypeKind.NUMERIC,
+    DataTypeKind.INTEGER,
+    DataTypeKind.SMALLINT,
+)
+
+
+def _typed_filler(datatype: DataType | None, tag: str, index: int):
+    """A filler value of the lexical type's Python shape.
+
+    Distinct indexes yield distinct values within one ``tag``, which
+    is all the uniqueness the generator relies on.
+    """
+    if datatype is None:
+        return f"{tag}_{index}"
+    if datatype.kind in _INTEGER_KINDS and datatype.scale is None:
+        return 100000 + index
+    if datatype.kind is DataTypeKind.REAL or (
+        datatype.kind is DataTypeKind.NUMERIC and datatype.scale is not None
+    ):
+        return 100000 + index + 0.25
+    if datatype.kind is DataTypeKind.BOOLEAN:
+        return "Y" if index % 2 == 0 else "N"
+    return f"{tag}_{index}"
 
 
 def _lexical_pool(schema: BinarySchema, player: str) -> list:
@@ -35,7 +65,18 @@ def _lexical_pool(schema: BinarySchema, player: str) -> list:
     constraint = schema.value_constraint_on(player)
     if constraint is not None:
         return list(constraint.values)
-    return [f"{player.lower()}_v{i}" for i in range(3)]
+    datatype = schema.object_type(player).datatype
+    stringy = datatype is None or datatype.kind in (
+        DataTypeKind.CHAR, DataTypeKind.VARCHAR, DataTypeKind.DATE
+    )
+    if stringy:
+        return [f"{player.lower()}_v{i}" for i in range(3)]
+    # Offset 300000 keeps pool values disjoint from the unique-role
+    # fillers (100000 + index) of the same numeric domain.
+    return [
+        _typed_filler(datatype, f"{player.lower()}_v", 300000 + i)
+        for i in range(3)
+    ]
 
 
 def generate_population(
@@ -45,7 +86,27 @@ def generate_population(
     optional_fill: float = 0.6,
     seed: int = 7,
 ) -> Population:
-    """A pseudo-random valid population of the schema."""
+    """A pseudo-random valid population of the schema.
+
+    ``seed`` fully determines the result — every caller that needs
+    byte-reproducible populations (the validation harness, the CLI,
+    the benchmarks) passes it explicitly.
+    """
+    with _obs_span(
+        "workloads.generate_population",
+        schema=schema.name,
+        instances_per_type=instances_per_type,
+        seed=seed,
+    ):
+        return _generate(schema, instances_per_type, optional_fill, seed)
+
+
+def _generate(
+    schema: BinarySchema,
+    instances_per_type: int,
+    optional_fill: float,
+    seed: int,
+) -> Population:
     rng = random.Random(seed)
     population = Population(schema)
 
@@ -153,6 +214,14 @@ def generate_population(
         far_player = schema.object_type(far_role.player)
         pool = _lexical_pool(schema, far_role.player)
         members = chosen[near_id]
+        # Sorted once per fact: fillers for a NOLOT far role are drawn
+        # from the pre-existing instances, so the pool is stable across
+        # the inner loop (re-sorting per instance is quadratic).
+        far_existing: list | None = None
+        if far_player.is_nolot:
+            far_existing = sorted(
+                population.instances(far_role.player), key=repr
+            )
         for index, instance in enumerate(
             sorted(population.instances(near_role.player), key=repr)
         ):
@@ -165,15 +234,21 @@ def generate_population(
                     filler = (
                         pool[index]
                         if index < len(pool)
-                        else f"{fact.name.lower()}_{index}"
+                        else _typed_filler(
+                            far_player.datatype,
+                            fact.name.lower(), index,
+                        )
                     )
                 else:
-                    filler = f"{fact.name.lower()}_{index}"
+                    filler = _typed_filler(
+                        far_player.datatype, fact.name.lower(), index
+                    )
             elif far_player.is_nolot:
-                existing = sorted(
-                    population.instances(far_role.player), key=repr
+                filler = (
+                    rng.choice(far_existing)
+                    if far_existing
+                    else f"{fact.name}_x"
                 )
-                filler = rng.choice(existing) if existing else f"{fact.name}_x"
             else:
                 filler = rng.choice(pool)
             if near_id == first_id:
@@ -194,8 +269,71 @@ def generate_population(
             second_pool = _lexical_pool(schema, fact.second.player)
         if not first_pool or not second_pool:
             continue  # an empty non-lexical side gets no pairs
+        # Totality by construction: a total many-to-many role pairs
+        # every existing instance of its player at least once (the
+        # mapper turns such roles into C_SUB$ view constraints, which
+        # the validation harness checks on a *valid* state).
+        if schema.is_total(first_id):
+            for instance in first_pool:
+                population.add_fact(
+                    fact.name, instance, rng.choice(second_pool)
+                )
+        if schema.is_total(second_id):
+            for instance in second_pool:
+                population.add_fact(
+                    fact.name, rng.choice(first_pool), instance
+                )
         for _ in range(instances_per_type):
             population.add_fact(
                 fact.name, rng.choice(first_pool), rng.choice(second_pool)
             )
     return population
+
+
+def estimated_rows_per_instance(schema: BinarySchema) -> int:
+    """How many relational rows one instance-per-type step yields.
+
+    Every root NOLOT becomes (roughly) one anchor row, and every
+    many-to-many fact one link row, per ``instances_per_type`` step;
+    subtype and satellite rows are fractions of those and are left as
+    slack.  Good enough to size :func:`generate_bulk_population`.
+    """
+    roots = sum(
+        1
+        for t in schema.object_types
+        if t.is_nolot and not schema.supertypes_of(t.name)
+    )
+    m2m = sum(
+        1
+        for fact in schema.fact_types
+        if not schema.is_unique(fact.role_ids[0])
+        and not schema.is_unique(fact.role_ids[1])
+    )
+    return max(1, roots + m2m)
+
+
+def generate_bulk_population(
+    schema: BinarySchema,
+    *,
+    target_rows: int,
+    seed: int,
+    optional_fill: float = 0.6,
+) -> Population:
+    """A valid population sized to map to ~``target_rows`` relational
+    rows.
+
+    The scale lever of the validation harness: ``target_rows`` is a
+    forward-mapped row-count target (1e5–1e6 for the DuckDB runs),
+    translated into ``instances_per_type`` via
+    :func:`estimated_rows_per_instance`.  ``seed`` is mandatory —
+    bulk runs exist to be reproduced.
+    """
+    instances = max(2, target_rows // estimated_rows_per_instance(schema))
+    with _obs_span(
+        "workloads.generate_bulk_population",
+        schema=schema.name,
+        target_rows=target_rows,
+        instances_per_type=instances,
+        seed=seed,
+    ):
+        return _generate(schema, instances, optional_fill, seed)

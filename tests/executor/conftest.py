@@ -1,0 +1,49 @@
+"""Shared schemas for the executor suite.
+
+Three fixtures cover every lossless-rule kind between them:
+
+* ``fig6`` / ``cris`` — the paper's own schemas (keys, foreign keys,
+  not-null, equality views; the TOGETHER alternative adds checks).
+* ``authorship_schema`` — a total role on the many-to-many side, the
+  shape the mapper turns into a C_SUB$ subset-view constraint
+  (section 4.3), which neither paper schema produces by default.
+"""
+
+import pytest
+
+from repro.brm import SchemaBuilder, char
+from repro.cris import cris_schema, figure6_schema
+from repro.executor import duckdb_available
+
+requires_duckdb = pytest.mark.skipif(
+    not duckdb_available(), reason="duckdb is not installed"
+)
+
+
+@pytest.fixture(scope="session")
+def fig6():
+    return figure6_schema()
+
+
+@pytest.fixture(scope="session")
+def cris():
+    return cris_schema()
+
+
+def build_authorship_schema():
+    b = SchemaBuilder("authorship")
+    b.nolot("Paper").lot("Paper_Id", char(6)).lot_nolot("Person", char(30))
+    b.identifier("Paper", "Paper_Id")
+    b.fact(
+        "authors",
+        ("Paper", "written_by"),
+        ("Person", "author_of"),
+        unique="pair",
+        total="first",
+    )
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def authorship_schema():
+    return build_authorship_schema()

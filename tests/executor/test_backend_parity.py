@@ -1,0 +1,128 @@
+"""Backend parity: every backend reports the same violation sets.
+
+The in-memory engine is the semantic reference; the SQL backends run
+the same compiled rules through a real engine.  On any state — valid
+or surgically mutated — all backends must agree on exactly which
+rules are violated, or the harness's verdicts would depend on where
+it happens to run.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cris import figure6_schema
+from repro.executor import (
+    MemoryBackend,
+    SqliteBackend,
+    compile_rules,
+    dataset_of,
+    load_dataset,
+)
+from repro.executor.backends import DuckDBBackend
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.robustness import plan_injections
+from repro.workloads import generate_bulk_population
+from tests.executor.conftest import build_authorship_schema, requires_duckdb
+
+OPTION_AXIS = (
+    MappingOptions(),
+    MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+    MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+    MappingOptions(
+        null_policy=NullPolicy.NOT_IN_KEYS,
+        sublink_policy=SublinkPolicy.INDICATOR,
+    ),
+)
+
+
+def violation_sets(schema, options, seed):
+    """Violated-rule sets per backend, on the valid state and on
+    every planned injection."""
+    result = map_schema(schema, options)
+    rules = compile_rules(result.relational)
+    population = generate_bulk_population(
+        schema, target_rows=150, seed=seed
+    )
+    canonical = result.canonicalize(result.state.to_canonical(population))
+    dataset = dataset_of(result.state_map.forward(canonical))
+    injections = plan_injections(
+        result.relational, rules, dataset, seed=seed
+    )
+    states = [("valid", dataset)] + [
+        (injection.kind, injection.dataset) for injection in injections
+    ]
+    per_backend = {}
+    for backend_type in (MemoryBackend, SqliteBackend):
+        backend = backend_type()
+        verdicts = {}
+        try:
+            for label, state in states:
+                load_dataset(backend, result.relational, state)
+                verdicts[label] = frozenset(
+                    violation.rule for violation in backend.check(rules)
+                )
+        finally:
+            backend.close()
+        per_backend[backend.name] = verdicts
+    return per_backend
+
+
+class TestMemorySqliteParity:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        options=st.sampled_from(OPTION_AXIS),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_fig6_verdicts_agree(self, options, seed):
+        per_backend = violation_sets(figure6_schema(), options, seed)
+        assert per_backend["memory"] == per_backend["sqlite"]
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_subset_view_verdicts_agree(self, seed):
+        per_backend = violation_sets(
+            build_authorship_schema(), MappingOptions(), seed
+        )
+        assert per_backend["memory"] == per_backend["sqlite"]
+        assert any(
+            label != "valid" for label in per_backend["memory"]
+        ), "no injection was planned"
+
+
+@requires_duckdb
+class TestDuckDBParity:
+    @pytest.mark.parametrize(
+        "options", OPTION_AXIS, ids=lambda o: repr(o)[:40]
+    )
+    def test_fig6_verdicts_agree(self, options):
+        schema = figure6_schema()
+        result = map_schema(schema, options)
+        rules = compile_rules(result.relational)
+        population = generate_bulk_population(
+            schema, target_rows=150, seed=7
+        )
+        canonical = result.canonicalize(
+            result.state.to_canonical(population)
+        )
+        dataset = dataset_of(result.state_map.forward(canonical))
+        injections = plan_injections(
+            result.relational, rules, dataset, seed=7
+        )
+        states = [dataset] + [i.dataset for i in injections]
+        for state in states:
+            verdicts = []
+            for backend in (MemoryBackend(), DuckDBBackend()):
+                try:
+                    load_dataset(backend, result.relational, state)
+                    verdicts.append(
+                        frozenset(v.rule for v in backend.check(rules))
+                    )
+                finally:
+                    backend.close()
+            assert verdicts[0] == verdicts[1]

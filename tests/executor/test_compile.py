@@ -1,0 +1,123 @@
+"""Shapes of the compiled checker queries.
+
+Every lossless rule compiles to one SQL query that returns the
+violating rows — empty result iff the rule holds.  These tests pin
+the query shapes (guards, grouping, negation wrapping) the backends
+and the parity property tests rely on.
+"""
+
+import pytest
+
+from repro.executor import CompiledRule, RULE_KINDS, compile_rules
+from repro.executor.compile import sql_predicate, view_aliases
+from repro.mapper import MappingOptions, SublinkPolicy, map_schema
+from repro.relational.predicates import (
+    Compare,
+    InValues,
+    IsNull,
+    Not,
+    NotNull,
+    Or,
+)
+
+
+def rules_by_kind(schema, options=None):
+    result = map_schema(schema, options or MappingOptions())
+    grouped = {}
+    for rule in compile_rules(result.relational):
+        grouped.setdefault(rule.kind, []).append(rule)
+    return grouped
+
+
+class TestRuleInventory:
+    def test_fig6_covers_the_default_kinds(self, fig6):
+        grouped = rules_by_kind(fig6)
+        assert set(grouped) == {
+            "not-null", "primary-key", "candidate-key", "foreign-key",
+            "equality-view",
+        }
+
+    def test_together_alternative_adds_checks(self, fig6):
+        grouped = rules_by_kind(
+            fig6, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        assert "check" in grouped
+
+    def test_total_m2m_role_compiles_to_subset_view(self, authorship_schema):
+        grouped = rules_by_kind(authorship_schema)
+        (rule,) = grouped["subset-view"]
+        assert rule.sql.count("EXCEPT") == 1
+        assert rule.relation == "Paper"
+
+    def test_every_kind_is_declared(self, cris):
+        for rules in rules_by_kind(cris).values():
+            for rule in rules:
+                assert rule.kind in RULE_KINDS
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule kind"):
+            CompiledRule("X", "bogus", "R", "SELECT 1")
+
+
+class TestQueryShapes:
+    def test_not_null_selects_null_rows(self, fig6):
+        for rule in rules_by_kind(fig6)["not-null"]:
+            assert rule.sql == (
+                f"SELECT * FROM {rule.relation} "
+                f"WHERE {rule.column} IS NULL"
+            )
+
+    def test_keys_group_and_guard_nulls(self, cris):
+        grouped = rules_by_kind(cris)
+        for rule in grouped["primary-key"] + grouped["candidate-key"]:
+            assert "GROUP BY" in rule.sql
+            assert "HAVING COUNT(*) > 1" in rule.sql
+            for column in rule.constraint.columns:
+                assert f"{column} IS NOT NULL" in rule.sql
+
+    def test_foreign_keys_probe_with_not_exists(self, cris):
+        for rule in rules_by_kind(cris)["foreign-key"]:
+            assert "NOT EXISTS" in rule.sql
+            for column in rule.constraint.columns:
+                assert f"s.{column} IS NOT NULL" in rule.sql
+            assert rule.constraint.referenced_relation in rule.sql
+
+    def test_equality_view_diffs_both_directions(self, fig6):
+        (rule,) = rules_by_kind(fig6)["equality-view"]
+        assert rule.sql.count("EXCEPT") == 2
+        assert "'only-left'" in rule.sql
+        assert "'only-right'" in rule.sql
+
+    def test_checks_negate_the_predicate(self, fig6):
+        grouped = rules_by_kind(
+            fig6, MappingOptions(sublink_policy=SublinkPolicy.TOGETHER)
+        )
+        for rule in grouped["check"]:
+            assert rule.sql.startswith(f"SELECT * FROM {rule.relation} ")
+            assert " WHERE NOT " in rule.sql
+
+
+class TestSqlPredicate:
+    def test_comparisons_collapse_unknown_to_false(self):
+        sql = sql_predicate(Compare("flag", "=", "Y"))
+        assert sql == "COALESCE(( flag = 'Y' ), FALSE)"
+
+    def test_in_values_collapse_unknown_to_false(self):
+        sql = sql_predicate(InValues("grade", ("A", "B")))
+        assert sql == "COALESCE(( grade IN ('A', 'B') ), FALSE)"
+
+    def test_null_tests_are_rendered_verbatim(self):
+        assert sql_predicate(IsNull("x")) == "( x IS NULL )"
+        assert sql_predicate(NotNull("x")) == "( x IS NOT NULL )"
+
+    def test_connectives_nest(self):
+        sql = sql_predicate(
+            Or((Not(IsNull("a")), Compare("b", ">", 1)))
+        )
+        assert sql == (
+            "( ( NOT ( a IS NULL ) ) "
+            "OR COALESCE(( b > 1 ), FALSE) )"
+        )
+
+    def test_view_aliases_are_positional(self):
+        assert view_aliases(3) == ("v1", "v2", "v3")

@@ -1,0 +1,136 @@
+"""Executable DDL: types, creation order, and load smoke tests.
+
+The paper-style emitter reproduces the 1989 listing; the executor's
+DDL must actually load.  The smoke tests execute every statement on
+real engines for every bundled example schema, in both shapes
+(``enforce=False`` bare tables, ``enforce=True`` with declarative
+constraints).
+"""
+
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.brm.datatypes import DataType, DataTypeKind
+from repro.dsl import parse
+from repro.executor import (
+    create_table_statements,
+    executable_ddl,
+    executable_type,
+    index_statements,
+)
+from repro.mapper import map_schema
+from tests.executor.conftest import build_authorship_schema, requires_duckdb
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def example_schemas():
+    from repro.cris import cris_schema, figure6_schema
+
+    schemas = [figure6_schema(), cris_schema(), build_authorship_schema()]
+    for path in sorted(EXAMPLES.glob("*.ridl")):
+        schemas.append(parse(path.read_text()))
+    return schemas
+
+
+class TestExecutableTypes:
+    @pytest.mark.parametrize(
+        "datatype, expected",
+        [
+            (DataType(DataTypeKind.CHAR, 6), "VARCHAR"),
+            (DataType(DataTypeKind.VARCHAR, 30), "VARCHAR"),
+            (DataType(DataTypeKind.DATE), "VARCHAR"),
+            (DataType(DataTypeKind.BOOLEAN), "VARCHAR"),
+            (DataType(DataTypeKind.INTEGER), "BIGINT"),
+            (DataType(DataTypeKind.SMALLINT), "BIGINT"),
+            (DataType(DataTypeKind.NUMERIC, 5), "BIGINT"),
+            (DataType(DataTypeKind.NUMERIC, 7, 2), "DOUBLE"),
+            (DataType(DataTypeKind.REAL), "DOUBLE"),
+        ],
+    )
+    def test_type_map(self, datatype, expected):
+        assert executable_type(datatype) == expected
+
+
+class TestCreationOrder:
+    def test_referenced_tables_come_first(self, cris):
+        schema = map_schema(cris).relational
+        statements = create_table_statements(schema)
+        position = {
+            statement.split()[2]: index
+            for index, statement in enumerate(statements)
+        }
+        for foreign_key in schema.foreign_keys():
+            if foreign_key.referenced_relation == foreign_key.relation:
+                continue
+            assert (
+                position[foreign_key.referenced_relation]
+                < position[foreign_key.relation]
+            )
+
+    def test_enforce_adds_declarative_clauses(self, fig6):
+        schema = map_schema(fig6).relational
+        ddl = executable_ddl(schema, enforce=True)
+        assert "PRIMARY KEY" in ddl
+        assert "FOREIGN KEY" in ddl
+        assert "NOT NULL" in ddl
+        bare = executable_ddl(schema)
+        for clause in ("PRIMARY KEY", "FOREIGN KEY", "NOT NULL", "CHECK"):
+            assert clause not in bare
+
+    def test_index_statements_cover_every_key(self, cris):
+        schema = map_schema(cris).relational
+        statements = index_statements(schema)
+        indexed = {
+            statement.split(" ON ")[1].split(" ")[0]
+            for statement in statements
+        }
+        keyed = {
+            relation.name
+            for relation in schema.relations
+            if schema.keys_of(relation.name)
+        }
+        assert indexed == keyed
+
+
+class TestLoadSmoke:
+    """The emitted DDL loads cleanly on real engines."""
+
+    @pytest.mark.parametrize(
+        "schema", example_schemas(), ids=lambda s: s.name
+    )
+    @pytest.mark.parametrize("enforce", [False, True])
+    def test_sqlite_loads_every_example(self, schema, enforce):
+        relational = map_schema(schema).relational
+        connection = sqlite3.connect(":memory:")
+        try:
+            for statement in create_table_statements(
+                relational, enforce=enforce
+            ):
+                connection.execute(statement)
+            for statement in index_statements(relational):
+                connection.execute(statement)
+        finally:
+            connection.close()
+
+    @requires_duckdb
+    @pytest.mark.parametrize(
+        "schema", example_schemas(), ids=lambda s: s.name
+    )
+    @pytest.mark.parametrize("enforce", [False, True])
+    def test_duckdb_loads_every_example(self, schema, enforce):
+        import duckdb
+
+        relational = map_schema(schema).relational
+        connection = duckdb.connect(":memory:")
+        try:
+            for statement in create_table_statements(
+                relational, enforce=enforce
+            ):
+                connection.execute(statement)
+            for statement in index_statements(relational):
+                connection.execute(statement)
+        finally:
+            connection.close()

@@ -81,3 +81,38 @@ class TestDialectLimits:
             cris, result=cris_result, dialect="sql2", select=["SQL204"]
         )
         assert report.diagnostics == []
+
+
+class TestCheckerPortability:
+    """SQL205 — unportable identifiers inside compiled checkers."""
+
+    def test_db2_truncation_flags_the_affected_rules(
+        self, cris, cris_result
+    ):
+        report = lint_schema(
+            cris, result=cris_result, dialect="db2", select=["SQL205"]
+        )
+        assert report.diagnostics, "18-char limit should bite CRIS"
+        for diagnostic in report.diagnostics:
+            assert diagnostic.severity.value == "warning"
+            assert "truncate or reserve" in diagnostic.message
+        # The subject is the lossless rule, not the identifier: the
+        # finding names which checker query cannot run.
+        subjects = {d.subject for d in report.diagnostics}
+        assert any(s.startswith(("C_", "NN$_")) for s in subjects)
+
+    def test_oracle_reserved_session_taints_its_checkers(
+        self, cris, cris_result
+    ):
+        report = lint_schema(
+            cris, result=cris_result, dialect="oracle", select=["SQL205"]
+        )
+        assert report.diagnostics
+        for diagnostic in report.diagnostics:
+            assert "Session" in diagnostic.message
+
+    def test_sql2_checkers_are_clean(self, cris, cris_result):
+        report = lint_schema(
+            cris, result=cris_result, dialect="sql2", select=["SQL205"]
+        )
+        assert report.diagnostics == []
