@@ -14,12 +14,15 @@ wall times and rows/s; ``scripts/check_bench_regression.py`` gates CI
 on the calibrated ``load_wall_s`` and ``check_wall_s``.
 """
 
+import os
 from time import perf_counter
 
 import pytest
 
 from conftest import emit
 from repro.executor import resolve_backend, run_validation
+from repro.mapper import MappingOptions, map_schema
+from repro.workloads import generate_bulk_population
 
 #: Forward-mapped row target for the benchmark run.  Small enough
 #: for the tier-2 benchmark job, large enough that quadratic loading
@@ -27,6 +30,17 @@ from repro.executor import resolve_backend, run_validation
 #: run lives in the executor test suite's DuckDB tier).
 SCALE = 20_000
 SEED = 7
+
+#: Row target for the columnar forward-map kernel measurement.
+FORWARD_SCALE = 100_000
+
+#: The 1e6-row ceiling run takes minutes; it only executes when this
+#: environment variable is set (the scheduled/label-triggered CI leg
+#: and baseline regeneration), so the default benchmark job stays
+#: fast.  The regression gate skips absent keys, so partial runs of
+#: this module still emit a valid, gateable JSON.
+SCALE_1E6_ENV = "BENCH_SCALE_1E6"
+SCALE_1E6 = 1_000_000
 
 
 def calibration_time() -> float:
@@ -82,6 +96,85 @@ def test_losslessness_at_scale(report):
             "round_trip_wall_s": round(validation.round_trip_s, 4),
             "load_rows_per_s": round(load_rate, 1),
             "check_rows_per_s": round(check_rate, 1),
+            "calibration_s": round(calibration_time(), 4),
+        },
+    )
+
+
+def test_forward_map_wall_at_1e5(cris):
+    """The columnar forward-map kernel at 1e5 rows.
+
+    This is the hot path the columnar population layout exists for:
+    canonical population -> relational rows as per-relation batch
+    column joins.  The emitted ``scale_forward_wall_s`` is gated by
+    ``scripts/check_bench_regression.py`` so the kernel cannot
+    silently fall back to per-row navigation.
+    """
+    result = map_schema(cris, MappingOptions())
+    population = generate_bulk_population(
+        cris, target_rows=FORWARD_SCALE, seed=SEED
+    )
+    canonical = result.canonicalize(result.state.to_canonical(population))
+
+    started = perf_counter()
+    database = result.state_map.forward(canonical)
+    forward_wall_s = perf_counter() - started
+
+    rows = sum(len(database.rows(r.name)) for r in result.relational.relations)
+    assert rows >= FORWARD_SCALE
+    assert forward_wall_s < 10.0  # order-of-magnitude guard; CI gate is finer
+    emit(
+        f"columnar forward map — CRIS at {rows} rows",
+        [
+            f"forward: {forward_wall_s:.3f}s "
+            f"({rows / forward_wall_s:,.0f} rows/s)",
+        ],
+        data={
+            "scale_rows": rows,
+            "scale_forward_wall_s": round(forward_wall_s, 4),
+            "scale_forward_rows_per_s": round(rows / forward_wall_s, 1),
+            "calibration_s": round(calibration_time(), 4),
+        },
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get(SCALE_1E6_ENV),
+    reason=f"set {SCALE_1E6_ENV}=1 to run the 1e6-row ceiling",
+)
+def test_ceiling_at_1e6(cris):
+    """The full harness at the 1e6-row scale ceiling: chunked bulk
+    load, sharded check phase and incremental injection matrix."""
+    started = perf_counter()
+    validation = run_validation(
+        cris, backend="auto", scale=SCALE_1E6, seed=SEED, check_workers=4
+    )
+    total_wall_s = perf_counter() - started
+    assert validation.ok
+    assert validation.rows_loaded >= SCALE_1E6
+
+    load_rate = validation.rows_loaded / validation.load_s
+    check_rate = validation.rows_loaded / validation.check_s
+    emit(
+        f"1e6-row ceiling — CRIS at {validation.rows_loaded} rows on "
+        f"{validation.backend_used}",
+        [
+            f"load: {validation.load_s:.3f}s ({load_rate:,.0f} rows/s)",
+            f"check: {sum(validation.rule_counts.values())} rules in "
+            f"{validation.check_s:.3f}s over "
+            f"{validation.check_workers} workers",
+            f"round trip: {validation.round_trip_s:.3f}s, empty diff",
+            f"harness total: {total_wall_s:.3f}s",
+        ],
+        data={
+            "backend": validation.backend_used,
+            "scale1e6_rows_loaded": validation.rows_loaded,
+            "scale1e6_load_wall_s": round(validation.load_s, 4),
+            "scale1e6_check_wall_s": round(validation.check_s, 4),
+            "scale1e6_round_trip_wall_s": round(validation.round_trip_s, 4),
+            "scale1e6_load_rows_per_s": round(load_rate, 1),
+            "scale1e6_check_rows_per_s": round(check_rate, 1),
+            "check_workers": validation.check_workers,
             "calibration_s": round(calibration_time(), 4),
         },
     )

@@ -338,6 +338,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the injection/detection experiment",
     )
     validate_cmd.add_argument(
+        "--check-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the compiled checker queries across N worker "
+        "processes on backends that support it (default 1: serial; "
+        "the report is identical across worker counts)",
+    )
+    validate_cmd.add_argument(
         "--format",
         default="text",
         choices=["text", "json"],
@@ -549,6 +558,7 @@ def _run_validate(namespace: argparse.Namespace, out) -> int:
         scale=namespace.scale,
         seed=namespace.seed,
         inject=namespace.inject,
+        check_workers=namespace.check_workers,
     )
     if namespace.format == "json":
         out.write(report.to_json())

@@ -64,8 +64,46 @@ class Database:
         self, relation_name: str, rows: Iterable[Mapping[str, object]]
     ) -> None:
         """Insert several rows."""
+        relation = self.schema.relation(relation_name)
+        names = relation.attribute_names
+        name_set = set(names)
+        table = self._tables[relation_name]
         for row in rows:
-            self.insert(relation_name, row)
+            unknown = set(row) - name_set
+            if unknown:
+                raise EngineError(
+                    f"relation {relation_name!r} has no columns "
+                    f"{sorted(unknown)}"
+                )
+            table.append({name: row.get(name) for name in names})
+
+    def load_rows(
+        self, relation_name: str, rows: Iterable[Mapping[str, object]]
+    ) -> None:
+        """Trusted bulk append for kernel-built rows.
+
+        The batch forward state map constructs every row dict with
+        exactly the relation's attributes already, so the per-row
+        unknown-column scan and dict rebuild of :meth:`insert` are
+        pure overhead on this path; rows whose key set differs are
+        still normalized (and unknown columns still rejected).
+        """
+        relation = self.schema.relation(relation_name)
+        names = relation.attribute_names
+        name_set = set(names)
+        table = self._tables[relation_name]
+        for row in rows:
+            if row.keys() != name_set:
+                unknown = set(row) - name_set
+                if unknown:
+                    raise EngineError(
+                        f"relation {relation_name!r} has no columns "
+                        f"{sorted(unknown)}"
+                    )
+                row = {name: row.get(name) for name in names}
+            elif not isinstance(row, dict):
+                row = dict(row)
+            table.append(row)
 
     def delete(
         self, relation_name: str, where: Predicate | None = None
@@ -92,6 +130,16 @@ class Database:
         if relation_name not in self._tables:
             self.schema.relation(relation_name)
         return [dict(row) for row in self._tables[relation_name]]
+
+    def iter_rows(self, relation_name: str) -> Iterable[Row]:
+        """The live rows of a relation, without copying.
+
+        Read-only view for whole-table consumers (the backwards state
+        map, bulk loaders); callers must not mutate the yielded dicts.
+        """
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        return iter(self._tables[relation_name])
 
     def count(self, relation_name: str) -> int:
         """Number of rows in a relation."""

@@ -33,6 +33,12 @@ from repro.relational.schema import RelationalSchema
 #: when an explicitly requested backend is unavailable.
 FALLBACK_ORDER = ("duckdb", "sqlite", "memory")
 
+#: Rows per ``executemany`` batch during bulk loads.  Bounds the peak
+#: size of the materialized parameter list: at 1e6+ rows a single
+#: all-at-once list of tuples costs hundreds of MB before the driver
+#: sees the first row, while chunks stream at a constant footprint.
+INSERT_CHUNK_ROWS = 20_000
+
 
 class BackendUnavailableError(RidlError):
     """The requested backend cannot run on this machine."""
@@ -74,8 +80,25 @@ class Backend:
     def insert_rows(self, relation: str, rows: list[dict]) -> None:
         raise NotImplementedError
 
+    def replace_rows(self, relation: str, rows: list[dict]) -> None:
+        """Swap one relation's rows in place (indexes kept).
+
+        The incremental injection-replay path: instead of rebuilding
+        the whole database per injection, only the touched relations
+        are replaced and later restored.
+        """
+        raise NotImplementedError
+
     def finish_load(self) -> None:
         """Called once after the last ``insert_rows`` of a bulk load."""
+
+    def snapshot_to(self, path: str) -> bool:
+        """Persist the loaded state to ``path`` for worker processes.
+
+        Returns False when the backend cannot snapshot — the check
+        phase then runs serially regardless of ``--check-workers``.
+        """
+        return False
 
     def rows(self, relation: str) -> list[dict]:
         """All rows of a relation as attribute dicts."""
@@ -122,6 +145,10 @@ class MemoryBackend(Backend):
     def insert_rows(self, relation: str, rows: list[dict]) -> None:
         self.database.insert_many(relation, rows)
 
+    def replace_rows(self, relation: str, rows: list[dict]) -> None:
+        self.database.delete(relation)
+        self.database.insert_many(relation, rows)
+
     def rows(self, relation: str) -> list[dict]:
         return self.database.rows(relation)
 
@@ -129,26 +156,29 @@ class MemoryBackend(Backend):
         return self.database.count(relation)
 
     def run_rule(self, rule: CompiledRule) -> Violation | None:
+        # Read-only interpretation: iterate the engine's live rows
+        # (``iter_rows``) instead of copying whole tables per rule —
+        # the injection planner runs this checker hundreds of times.
         database = self.database
         constraint = rule.constraint
         if rule.kind == "not-null":
             bad = [
                 row
-                for row in database.rows(rule.relation)
+                for row in database.iter_rows(rule.relation)
                 if row.get(rule.column) is None
             ]
         elif rule.kind in ("primary-key", "candidate-key"):
             bad = duplicates(
-                database.rows(rule.relation), constraint.columns
+                list(database.iter_rows(rule.relation)), constraint.columns
             )
         elif rule.kind == "foreign-key":
             referenced = {
                 tuple(row.get(c) for c in constraint.referenced_columns)
-                for row in database.rows(constraint.referenced_relation)
+                for row in database.iter_rows(constraint.referenced_relation)
             }
             bad = [
                 row
-                for row in database.rows(rule.relation)
+                for row in database.iter_rows(rule.relation)
                 if None
                 not in (key := tuple(row.get(c) for c in constraint.columns))
                 and key not in referenced
@@ -156,7 +186,7 @@ class MemoryBackend(Backend):
         elif rule.kind == "check":
             bad = [
                 row
-                for row in database.rows(rule.relation)
+                for row in database.iter_rows(rule.relation)
                 if not constraint.predicate.evaluate(row)
             ]
         elif rule.kind == "equality-view":
@@ -194,17 +224,24 @@ class _SqlBackend(Backend):
             self._connection.execute(statement)
 
     def insert_rows(self, relation: str, rows: list[dict]) -> None:
+        if not rows:
+            return
         columns = self._schema.relation(relation).attribute_names
         placeholders = ", ".join("?" for _ in columns)
         statement = (
             f"INSERT INTO {relation} ({', '.join(columns)}) "
             f"VALUES ({placeholders})"
         )
-        parameters = [
-            tuple(row.get(column) for column in columns) for row in rows
-        ]
-        if parameters:
-            self._connection.executemany(statement, parameters)
+        for start in range(0, len(rows), INSERT_CHUNK_ROWS):
+            chunk = rows[start:start + INSERT_CHUNK_ROWS]
+            self._connection.executemany(
+                statement,
+                [tuple(row.get(column) for column in columns) for row in chunk],
+            )
+
+    def replace_rows(self, relation: str, rows: list[dict]) -> None:
+        self._connection.execute(f"DELETE FROM {relation}")
+        self.insert_rows(relation, rows)
 
     def finish_load(self) -> None:
         # Index every declared key after the bulk load: the FK
@@ -251,6 +288,50 @@ class SqliteBackend(_SqlBackend):
 
         return sqlite3.connect(":memory:")
 
+    def snapshot_to(self, path: str) -> bool:
+        """Persist the in-memory database (with its indexes) to a
+        file for read-only worker use.
+
+        Uses ``Connection.serialize`` (Python 3.11+) and writes the
+        resulting image with plain file I/O: workers rehydrate it
+        into their own ``:memory:`` connection, so no sqlite file
+        locking is ever involved.  On interpreters without
+        ``serialize`` this returns ``False`` and the caller falls
+        back to a serial check.
+        """
+        if not hasattr(self._connection, "serialize"):
+            return False
+        with open(path, "wb") as handle:
+            handle.write(self._connection.serialize())
+        return True
+
+    @classmethod
+    def open_snapshot(cls, path: str) -> "SqliteBackend":
+        """A backend over a snapshot image written by
+        :meth:`snapshot_to`.
+
+        Check-phase workers each deserialize the image into a private
+        in-memory database; ``run_rule`` and ``check`` then work
+        unchanged.
+        """
+        import sqlite3
+
+        with open(path, "rb") as handle:
+            image = handle.read()
+        backend = cls()
+        backend._connection = sqlite3.connect(":memory:")
+        backend._connection.deserialize(image)
+        return backend
+
+
+def pyarrow_available() -> bool:
+    """True when the optional ``pyarrow`` package can be imported."""
+    try:
+        import pyarrow  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
 
 class DuckDBBackend(_SqlBackend):
     """In-memory DuckDB — the 1e5+-row scale target."""
@@ -265,6 +346,40 @@ class DuckDBBackend(_SqlBackend):
                 "the duckdb package is not installed"
             ) from exc
         return duckdb.connect(":memory:")
+
+    def insert_rows(self, relation: str, rows: list[dict]) -> None:
+        # Arrow ingestion when pyarrow is around: one zero-copy
+        # ``register`` + INSERT..SELECT per relation instead of a
+        # Python-tuple round trip per row.  Both packages are
+        # optional, so any failure on this path falls back to the
+        # chunked executemany loader.
+        if rows and pyarrow_available():
+            try:
+                self._insert_rows_arrow(relation, rows)
+                return
+            except Exception:  # pragma: no cover - env-dependent
+                pass
+        super().insert_rows(relation, rows)
+
+    def _insert_rows_arrow(self, relation: str, rows: list[dict]) -> None:
+        import pyarrow as pa
+
+        columns = self._schema.relation(relation).attribute_names
+        table = pa.table(
+            {
+                column: [row.get(column) for row in rows]
+                for column in columns
+            }
+        )
+        view = f"_bulk_{relation}"
+        self._connection.register(view, table)
+        try:
+            self._connection.execute(
+                f"INSERT INTO {relation} ({', '.join(columns)}) "
+                f"SELECT {', '.join(columns)} FROM {view}"
+            )
+        finally:
+            self._connection.unregister(view)
 
 
 BACKENDS: dict[str, type[Backend]] = {

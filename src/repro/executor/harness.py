@@ -26,6 +26,9 @@ counters), and the result is a machine-readable
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -34,10 +37,14 @@ from repro.engine.database import Database
 from repro.executor.backends import (
     Backend,
     ResolvedBackend,
+    SqliteBackend,
+    Violation,
     resolve_backend,
 )
 from repro.executor.compile import CompiledRule, compile_rules
 from repro.mapper import MappingOptions, map_schema
+from repro.observability.tracer import NOOP_SPAN, Tracer
+from repro.observability.tracer import active as _obs_active
 from repro.observability.tracer import count as _obs_count
 from repro.observability.tracer import span as _obs_span
 from repro.robustness.violations import (
@@ -70,6 +77,146 @@ def load_dataset(backend: Backend, schema, dataset: Dataset, *,
         backend.finish_load()
         _obs_count("executor.rows_loaded", loaded)
     return loaded
+
+
+# ----------------------------------------------------------------------
+# The (optionally sharded) check phase
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One worker's slice of the compiled rules — the pool payload.
+
+    ``trace_parent`` follows the advisor's span-grafting convention:
+    the PID of the process whose tracer wants the worker's
+    ``executor.*`` spans, or ``None`` when tracing is off.
+    """
+
+    db_path: str
+    shard_index: int
+    rules: tuple[tuple[int, CompiledRule], ...]
+    trace_parent: int | None = None
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """Indexed violations plus, when traced in a worker, its spans."""
+
+    violations: tuple[tuple[int, Violation], ...]
+    spans: list | None = None
+    metrics: dict | None = None
+
+
+def _check_shard(task: _ShardTask) -> _ShardResult:
+    """Run one rule shard against the snapshot (worker entry point).
+
+    Module-level so the payload pickles; also usable in-process, so
+    serial and sharded paths share one code path.
+    """
+    if task.trace_parent is not None and os.getpid() != task.trace_parent:
+        collector = Tracer("executor-worker")
+        with collector.activate():
+            violations = _check_shard_violations(task)
+        return _ShardResult(
+            violations=violations,
+            spans=collector.export_spans(),
+            metrics=collector.metrics.snapshot(),
+        )
+    return _ShardResult(violations=_check_shard_violations(task))
+
+
+def _check_shard_violations(
+    task: _ShardTask,
+) -> tuple[tuple[int, Violation], ...]:
+    backend = SqliteBackend.open_snapshot(task.db_path)
+    try:
+        with _obs_span(
+            "executor.check_shard",
+            shard=task.shard_index,
+            rules=len(task.rules),
+        ):
+            found = []
+            for index, rule in task.rules:
+                violation = backend.run_rule(rule)
+                if violation is not None:
+                    found.append((index, violation))
+            return tuple(found)
+    finally:
+        backend.close()
+
+
+def resolve_check_workers(workers: int | None, rules: int) -> int:
+    """The effective check worker count: ``None`` auto-sizes to the
+    CPU count, and never more workers than rules."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, max(1, rules)))
+
+
+def run_checks(
+    backend: Backend,
+    rules: tuple[CompiledRule, ...],
+    *,
+    workers: int = 1,
+) -> tuple[list[Violation], int]:
+    """Run every compiled rule, sharded across processes when asked.
+
+    With ``workers > 1`` on a backend that can snapshot its loaded
+    state (SQLite), the rules are dealt round-robin to worker
+    processes that each open a read-only connection on the snapshot;
+    violations are reassembled in compile order and worker spans are
+    grafted in shard order, so the result — and the trace shape — is
+    identical to a serial run.  Backends that cannot snapshot (and
+    the ``workers <= 1`` case) run serially in-process.
+
+    Returns ``(violations, effective_workers)``.
+    """
+    effective = resolve_check_workers(workers, len(rules))
+    tracer = _obs_active()
+    with _obs_span(
+        "executor.check",
+        backend=backend.name,
+        rules=len(rules),
+        workers=effective,
+    ) as check_span:
+        if effective <= 1:
+            return backend.check(rules), 1
+        with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+            snapshot = os.path.join(tmp, "state.db")
+            if not backend.snapshot_to(snapshot):
+                return backend.check(rules), 1
+            shards: list[list[tuple[int, CompiledRule]]] = [
+                [] for _ in range(effective)
+            ]
+            for index, rule in enumerate(rules):
+                shards[index % effective].append((index, rule))
+            tasks = [
+                _ShardTask(
+                    db_path=snapshot,
+                    shard_index=shard_index,
+                    rules=tuple(shard),
+                    trace_parent=None if tracer is None else os.getpid(),
+                )
+                for shard_index, shard in enumerate(shards)
+                if shard
+            ]
+            with ProcessPoolExecutor(max_workers=effective) as pool:
+                results = list(pool.map(_check_shard, tasks))
+        indexed: list[tuple[int, Violation]] = []
+        for result in results:
+            # Graft worker spans in shard order — deterministic
+            # regardless of which worker ran which shard.
+            if tracer is not None and result.spans:
+                tracer.adopt(
+                    result.spans,
+                    parent=None if check_span is NOOP_SPAN else check_span,
+                )
+            if tracer is not None and result.metrics:
+                tracer.metrics.merge(result.metrics)
+            indexed.extend(result.violations)
+        indexed.sort(key=lambda pair: pair[0])
+        return [violation for _, violation in indexed], effective
 
 
 @dataclass
@@ -124,18 +271,45 @@ def detection_matrix(
     rules: tuple[CompiledRule, ...],
     injections: list[Injection],
     *,
+    baseline: Dataset | None = None,
     skipped_kinds: tuple[str, ...] = (),
 ) -> DetectionMatrix:
-    """Replay planned injections on a backend, one at a time."""
+    """Replay planned injections on a backend, one at a time.
+
+    When ``baseline`` (the clean dataset) is given and every
+    injection knows its ``touched`` relations, the baseline is loaded
+    once and each replay only swaps the touched relations in and back
+    out (:meth:`Backend.replace_rows`) — at harness scale an
+    injection touches one or two relations of a million-row dataset,
+    so full per-injection reloads dominated the inject phase.
+    """
     matrix = DetectionMatrix(backend.name, skipped_kinds=skipped_kinds)
+    incremental = baseline is not None and all(
+        injection.touched for injection in injections
+    )
     with _obs_span(
-        "executor.inject", backend=backend.name, injections=len(injections)
+        "executor.inject",
+        backend=backend.name,
+        injections=len(injections),
+        incremental=incremental,
     ):
+        if incremental and injections:
+            load_dataset(backend, schema, baseline)
         for injection in injections:
-            load_dataset(backend, schema, injection.dataset)
+            if incremental:
+                touched = sorted(injection.touched)
+                for relation in touched:
+                    backend.replace_rows(
+                        relation, injection.dataset[relation]
+                    )
+            else:
+                load_dataset(backend, schema, injection.dataset)
             detected = tuple(
                 sorted({v.rule for v in backend.check(rules)})
             )
+            if incremental:
+                for relation in touched:
+                    backend.replace_rows(relation, baseline[relation])
             _obs_count("executor.violations", len(detected))
             matrix.rows.append(
                 MatrixRow(
@@ -168,6 +342,7 @@ class ValidationReport:
     load_s: float
     check_s: float
     round_trip_s: float
+    check_workers: int = 1
 
     @property
     def ok(self) -> bool:
@@ -199,12 +374,18 @@ class ValidationReport:
                 "diff": self.round_trip_diff,
             },
             "matrix": None if self.matrix is None else self.matrix.as_dict(),
+            # check_workers lives under "timings" deliberately: the
+            # block is the report's only run-environment-dependent
+            # part, and the workers-determinism contract is "reports
+            # are byte-identical across --check-workers once timings
+            # are stripped".
             "timings": {
                 "load_s": round(self.load_s, 6),
                 "check_s": round(self.check_s, 6),
                 "round_trip_s": round(self.round_trip_s, 6),
                 "load_rows_per_s": round(self._rate(self.load_s), 1),
                 "check_rows_per_s": round(self._rate(self.check_s), 1),
+                "check_workers": self.check_workers,
             },
         }
 
@@ -271,9 +452,16 @@ def run_validation(
     scale: int = 1000,
     seed: int = 7,
     inject: bool = True,
+    check_workers: int = 1,
     resolved: ResolvedBackend | None = None,
 ) -> ValidationReport:
-    """Run the full harness on one schema under one option set."""
+    """Run the full harness on one schema under one option set.
+
+    ``check_workers > 1`` shards the compiled checker queries across
+    worker processes on backends that support it (see
+    :func:`run_checks`); the report is byte-identical across worker
+    counts except for the ``timings`` block.
+    """
     with _obs_span(
         "executor.validate", schema=schema.name, backend=backend, scale=scale
     ):
@@ -294,11 +482,10 @@ def run_validation(
             load_s = perf_counter() - started
 
             started = perf_counter()
-            with _obs_span("executor.check", backend=runner.name,
-                           rules=len(rules)):
-                valid_violations = tuple(
-                    sorted({v.rule for v in runner.check(rules)})
-                )
+            found, workers_used = run_checks(
+                runner, rules, workers=check_workers
+            )
+            valid_violations = tuple(sorted({v.rule for v in found}))
             check_s = perf_counter() - started
 
             started = perf_counter()
@@ -320,7 +507,7 @@ def run_validation(
                 )
                 matrix = detection_matrix(
                     runner, result.relational, rules, injections,
-                    skipped_kinds=skipped,
+                    baseline=dataset, skipped_kinds=skipped,
                 )
         finally:
             runner.close()
@@ -343,6 +530,7 @@ def run_validation(
             load_s=load_s,
             check_s=check_s,
             round_trip_s=round_trip_s,
+            check_workers=workers_used,
         )
 
 

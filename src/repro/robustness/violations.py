@@ -64,7 +64,14 @@ Dataset = dict[str, list[dict]]
 
 @dataclass(frozen=True)
 class Injection:
-    """One accepted violation: a mutated dataset plus its target."""
+    """One accepted violation: a mutated dataset plus its target.
+
+    ``touched`` names the relations whose rows differ from the clean
+    dataset; the detection matrix uses it to replay the injection by
+    replacing (and later restoring) only those relations instead of
+    rebuilding the whole database.  Empty when unknown — consumers
+    must then fall back to a full reload.
+    """
 
     kind: str
     rule: str
@@ -72,11 +79,50 @@ class Injection:
     relation: str
     description: str
     dataset: Dataset
+    touched: frozenset[str] = frozenset()
 
 
 def copy_dataset(dataset: Dataset) -> Dataset:
     """An independent row-level copy."""
     return {name: [dict(row) for row in rows] for name, rows in dataset.items()}
+
+
+class _CowDataset(dict):
+    """A copy-on-write dataset copy.
+
+    Candidate mutations touch one or two relations of a dataset that
+    can hold hundreds of thousands of rows; deep-copying every
+    relation per candidate made ``--inject`` setup scale with
+    (candidates x dataset size).  This copy shares the base row lists
+    and deep-copies a relation the first time it is *indexed* —
+    every mutator writes through ``mutated[relation]``, so the write
+    paths all trigger materialization.  ``touched`` records exactly
+    the materialized (hence possibly mutated) relations.
+    """
+
+    __slots__ = ("base", "touched")
+
+    def __init__(self, base: Dataset) -> None:
+        super().__init__(base)
+        self.base = base
+        self.touched: set[str] = set()
+
+    def __getitem__(self, name: str) -> list[dict]:
+        rows = super().__getitem__(name)
+        if name not in self.touched:
+            rows = [dict(row) for row in rows]
+            super().__setitem__(name, rows)
+            self.touched.add(name)
+        return rows
+
+
+def _cow_copy(dataset: Dataset) -> _CowDataset:
+    """A copy-on-write copy for the candidate mutators."""
+    if isinstance(dataset, _CowDataset):
+        # Copy from the shared base so sibling candidates never see
+        # each other's mutations.
+        return _CowDataset(dataset.base)
+    return _CowDataset(dataset)
 
 
 def fresh_value(
@@ -151,7 +197,7 @@ def _other_key_columns(
 def _null_breach(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
     rows = dataset.get(rule.relation, [])
     for index in _row_order(rows, rng):
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[rule.relation][index][rule.column] = None
         yield mutated, (
             f"set {rule.relation}[{index}].{rule.column} to NULL"
@@ -173,7 +219,7 @@ def _duplicate_key(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
             clone[column] = fresh_value(
                 schema, rule.relation, column, dataset, offset
             )
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[rule.relation].append(clone)
         yield mutated, (
             f"duplicated {rule.relation}[{index}] under key "
@@ -181,7 +227,7 @@ def _duplicate_key(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
         )
         # (b) a verbatim duplicate (surgical when the relation has a
         # single key and no set-valued semantics elsewhere).
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[rule.relation].append(dict(base))
         yield mutated, f"re-inserted {rule.relation}[{index}] verbatim"
     # (c) overwrite another row's key with this row's key values.
@@ -192,7 +238,7 @@ def _duplicate_key(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
         for victim in _row_order(rows, rng):
             if victim == index:
                 continue
-            mutated = copy_dataset(dataset)
+            mutated = _cow_copy(dataset)
             for column in constraint.columns:
                 mutated[rule.relation][victim][column] = base[column]
             yield mutated, (
@@ -221,14 +267,14 @@ def _orphan_foreign_key(
             clone[column] = fresh_value(
                 schema, rule.relation, column, dataset, offset
             )
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[rule.relation].append(clone)
         yield mutated, (
             f"inserted {rule.relation} row with unmatched "
             f"({', '.join(constraint.columns)})"
         )
         # (b) redirect an existing row's FK to a fresh target.
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         for offset, column in enumerate(constraint.columns):
             mutated[rule.relation][index][column] = fresh_value(
                 schema, rule.relation, column, dataset, offset
@@ -253,7 +299,7 @@ def _check_breach(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
                 candidate[column] = value
                 if predicate.evaluate(candidate):
                     continue  # still satisfied — not a breach
-                mutated = copy_dataset(dataset)
+                mutated = _cow_copy(dataset)
                 mutated[rule.relation][index] = candidate
                 yield mutated, (
                     f"set {rule.relation}[{index}].{column} to "
@@ -276,7 +322,7 @@ def _spec_mutations(
         if spec.where is not None and not spec.where.evaluate(candidate):
             continue
         # (a) in-place: the row now projects to a fresh tuple.
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[spec.relation][index] = candidate
         yield mutated, (
             f"rewrote {spec.relation}[{index}] "
@@ -291,7 +337,7 @@ def _spec_mutations(
             clone[column] = fresh_value(
                 schema, spec.relation, column, dataset, offset
             )
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         mutated[spec.relation].append(clone)
         yield mutated, (
             f"inserted a {spec.relation} row projecting to a fresh "
@@ -321,7 +367,7 @@ def _subset_leak(schema, rule, dataset, rng) -> Iterator[tuple[Dataset, str]]:
         row = rows[index]
         if spec.where is not None and not spec.where.evaluate(row):
             continue
-        mutated = copy_dataset(dataset)
+        mutated = _cow_copy(dataset)
         del mutated[spec.relation][index]
         yield mutated, (
             f"deleted superset witness {spec.relation}[{index}]"
@@ -341,14 +387,43 @@ MUTATORS: dict[str, Callable] = {
 def default_verifier(
     schema: RelationalSchema, rules: tuple[CompiledRule, ...]
 ) -> Callable[[Dataset], set[str]]:
-    """A full-rule checker on the in-memory reference backend."""
+    """A full-rule checker on the in-memory reference backend.
+
+    Copy-on-write candidates (:class:`_CowDataset`) are checked
+    against a *cached* load of their clean base: the baseline
+    database is built once per base dataset, and each candidate forks
+    it by sharing the untouched tables and re-loading only the
+    touched ones — so ``--inject`` planning no longer re-loads the
+    full dataset once per candidate per rule.
+    """
+    from repro.engine.database import Database
     from repro.executor.backends import MemoryBackend
+
+    baselines: dict[int, Database] = {}
 
     def verify(dataset: Dataset) -> set[str]:
         backend = MemoryBackend()
-        backend.load_schema(schema)
-        for relation, rows in dataset.items():
-            backend.insert_rows(relation, rows)
+        base = dataset.base if isinstance(dataset, _CowDataset) else None
+        if base is None:
+            backend.load_schema(schema)
+            for relation, rows in dataset.items():
+                backend.insert_rows(relation, rows)
+            return {violation.rule for violation in backend.check(rules)}
+        key = id(base)
+        baseline = baselines.get(key)
+        if baseline is None:
+            baseline = Database(schema)
+            for relation, rows in base.items():
+                baseline.insert_many(relation, rows)
+            baselines[key] = baseline
+        fork = Database(schema)
+        for name in list(fork._tables):
+            if name in dataset.touched:
+                fork.insert_many(name, dataset[name])
+            else:
+                # Shared by reference: checking never mutates rows.
+                fork._tables[name] = baseline._tables[name]
+        backend.database = fork
         return {violation.rule for violation in backend.check(rules)}
 
     return verify
@@ -389,9 +464,14 @@ def plan_injections(
                     break
                 mutated, description = pair
                 if verify(mutated) == {rule.name}:
+                    touched = (
+                        frozenset(mutated.touched)
+                        if isinstance(mutated, _CowDataset)
+                        else frozenset()
+                    )
                     accepted = Injection(
                         kind, rule.name, rule.kind, rule.relation,
-                        description, mutated,
+                        description, mutated, touched,
                     )
                     break
             if accepted is not None:

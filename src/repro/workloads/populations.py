@@ -136,9 +136,7 @@ def _generate(
                 population.add_instance(name, f"{name.lower()}_{index}")
             continue
         for sublink in schema.sublinks_from(name):
-            supers = sorted(
-                population.instances(sublink.supertype), key=repr
-            )
+            supers = population.sorted_instances(sublink.supertype)
             members = set()
             for instance in supers:
                 if rng.random() >= 0.5:
@@ -176,9 +174,7 @@ def _generate(
         near_of[fact.name] = near_id
         chosen[near_id] = {
             instance
-            for instance in sorted(
-                population.instances(near_role.player), key=repr
-            )
+            for instance in population.sorted_instances(near_role.player)
             if total or rng.random() <= optional_fill
         }
 
@@ -219,11 +215,9 @@ def _generate(
         # the inner loop (re-sorting per instance is quadratic).
         far_existing: list | None = None
         if far_player.is_nolot:
-            far_existing = sorted(
-                population.instances(far_role.player), key=repr
-            )
+            far_existing = population.sorted_instances(far_role.player)
         for index, instance in enumerate(
-            sorted(population.instances(near_role.player), key=repr)
+            population.sorted_instances(near_role.player)
         ):
             if instance not in members:
                 continue
@@ -261,8 +255,8 @@ def _generate(
         first_id, second_id = fact.role_ids
         if schema.is_unique(first_id) or schema.is_unique(second_id):
             continue
-        first_pool = sorted(population.instances(fact.first.player), key=repr)
-        second_pool = sorted(population.instances(fact.second.player), key=repr)
+        first_pool = population.sorted_instances(fact.first.player)
+        second_pool = population.sorted_instances(fact.second.player)
         if schema.object_type(fact.first.player).is_lexical and not first_pool:
             first_pool = _lexical_pool(schema, fact.first.player)
         if schema.object_type(fact.second.player).is_lexical and not second_pool:

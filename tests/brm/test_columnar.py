@@ -1,0 +1,230 @@
+"""Columnar population vs. the row-oriented oracle.
+
+``ColumnarPopulation`` is the interned, per-fact-type columnar layout
+the batch state-map kernels run on; ``Population`` is the retained
+value-oriented reference.  Mirroring the ``LinearScanOracle`` pattern
+from ``test_indexes.py``, every observable query — validity (exact
+violation messages), ``facts_of``, role/item populations, equality —
+is replayed through both representations after hypothesis-driven
+construction and randomized mutation sequences, and the lossless
+conversions ``from_population``/``to_population`` must round-trip.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.brm import ColumnarPopulation, Population, RoleId
+from repro.cris import figure6_population, figure6_schema
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
+from repro.workloads import SchemaShape, generate_population, generate_schema
+
+
+def assert_columnar_equals_oracle(
+    population: Population, columnar: ColumnarPopulation
+) -> None:
+    """Every observable query agrees between both representations."""
+    schema = population.schema
+    # Validity: same verdict AND the same violation messages.
+    assert sorted(str(v) for v in columnar.check()) == sorted(
+        str(v) for v in population.check()
+    )
+    assert columnar.is_valid() == population.is_valid()
+    for object_type in schema.object_types:
+        name = object_type.name
+        assert columnar.instances(name) == population.instances(name)
+    for fact in schema.fact_types:
+        assert columnar.fact_instances(fact.name) == population.fact_instances(
+            fact.name
+        )
+        for role in (fact.first, fact.second):
+            role_id = RoleId(fact.name, role.name)
+            assert columnar.role_population(role_id) == population.role_population(
+                role_id
+            )
+            assert columnar.role_occurrences(
+                role_id
+            ) == population.role_occurrences(role_id)
+            for instance in population.role_population(role_id):
+                assert columnar.facts_of(
+                    fact.name, role.name, instance
+                ) == population.facts_of(fact.name, role.name, instance)
+    assert columnar.is_empty() == population.is_empty()
+    assert columnar.as_dict() == population.as_dict()
+    assert columnar == population
+    # Lossless conversion both ways.
+    assert columnar.to_population() == population
+    assert ColumnarPopulation.from_population(population) == columnar
+
+
+def _sync_pair(schema, seed: int) -> tuple[Population, ColumnarPopulation]:
+    population = generate_population(schema, instances_per_type=4, seed=seed)
+    return population, ColumnarPopulation.from_population(population)
+
+
+def _random_mutation(
+    population: Population,
+    columnar: ColumnarPopulation,
+    rng: random.Random,
+    step: int,
+) -> None:
+    """Apply one mutation through BOTH public mutator APIs.
+
+    Mutations deliberately include constraint-violating ones (stray
+    facts, retracted references, dangling subtype members): the
+    equivalence contract covers invalid states and their exact
+    violation messages, not just models.
+    """
+    schema = population.schema
+    facts = [f for f in schema.fact_types]
+    choice = rng.randrange(4)
+    if choice == 0 and facts:
+        fact = rng.choice(facts)
+        first = f"mut_{step}_a"
+        second = f"mut_{step}_b"
+        population.add_fact(fact.name, first, second)
+        columnar.add_fact(fact.name, first, second)
+    elif choice == 1:
+        populated = [
+            f for f in facts if population.fact_instances(f.name)
+        ]
+        if populated:
+            fact = rng.choice(populated)
+            pair = min(population.fact_instances(fact.name), key=repr)
+            population.remove_fact(fact.name, *pair)
+            columnar.remove_fact(fact.name, *pair)
+    elif choice == 2:
+        types = [
+            t.name
+            for t in schema.object_types
+            if population.instances(t.name)
+        ]
+        if types:
+            name = rng.choice(types)
+            instance = min(population.instances(name), key=repr)
+            population.discard_instance(name, instance)
+            columnar.discard_instance(name, instance)
+    else:
+        name = rng.choice([t.name for t in schema.object_types])
+        population.add_instance(name, f"mut_{step}_solo")
+        columnar.add_instance(name, f"mut_{step}_solo")
+
+
+class TestOracleEquivalence:
+    def test_figure6_population(self):
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        assert_columnar_equals_oracle(
+            population, ColumnarPopulation.from_population(population)
+        )
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        schema_seed=st.integers(min_value=0, max_value=40),
+        population_seed=st.integers(min_value=0, max_value=40),
+    )
+    def test_generated_populations(self, schema_seed, population_seed):
+        schema = generate_schema(
+            SchemaShape(
+                entity_types=6,
+                exclusion_groups=1,
+                subtype_own_identifier_ratio=0.5,
+                rich_constraints=True,
+            ),
+            seed=schema_seed,
+        )
+        population, columnar = _sync_pair(schema, population_seed)
+        assert_columnar_equals_oracle(population, columnar)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(seed=st.integers(min_value=0, max_value=30))
+    def test_equivalence_after_randomized_mutations(self, seed):
+        rng = random.Random(seed)
+        schema = generate_schema(
+            SchemaShape(entity_types=5, rich_constraints=True), seed=seed
+        )
+        population, columnar = _sync_pair(schema, seed)
+        for step in range(15):
+            _random_mutation(population, columnar, rng, step)
+            assert_columnar_equals_oracle(population, columnar)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=40))
+    def test_round_trip_is_lossless(self, seed):
+        schema = generate_schema(SchemaShape(entity_types=6), seed=seed)
+        population, columnar = _sync_pair(schema, seed)
+        rebuilt = columnar.to_population()
+        assert rebuilt == population
+        assert rebuilt.as_dict() == population.as_dict()
+        # And back again.
+        assert ColumnarPopulation.from_population(rebuilt) == columnar
+
+    def test_copy_is_independent(self):
+        schema = figure6_schema()
+        columnar = ColumnarPopulation.from_population(
+            figure6_population(schema)
+        )
+        twin = columnar.copy()
+        assert twin == columnar
+        twin.add_instance("Paper", "ghost_paper")
+        assert twin != columnar
+
+
+class TestStateMapEquivalence:
+    """The batch kernels accept either representation and agree."""
+
+    POLICIES = st.tuples(
+        st.sampled_from(
+            [NullPolicy.DEFAULT, NullPolicy.NOT_ALLOWED, NullPolicy.NOT_IN_KEYS]
+        ),
+        st.sampled_from(
+            [
+                SublinkPolicy.SEPARATE,
+                SublinkPolicy.TOGETHER,
+                SublinkPolicy.INDICATOR,
+            ]
+        ),
+    )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=30),
+        policies=POLICIES,
+    )
+    def test_forward_map_agrees_across_representations(self, seed, policies):
+        null_policy, sublink_policy = policies
+        schema = generate_schema(
+            SchemaShape(entity_types=6, subtype_own_identifier_ratio=0.5),
+            seed=seed,
+        )
+        population = generate_population(
+            schema, instances_per_type=4, seed=seed
+        )
+        result = map_schema(
+            schema,
+            MappingOptions(
+                null_policy=null_policy, sublink_policy=sublink_policy
+            ),
+        )
+        canonical = result.canonicalize(result.state.to_canonical(population))
+        columnar = ColumnarPopulation.from_population(canonical)
+        from_rows = result.state_map.forward(canonical)
+        from_columns = result.state_map.forward(columnar)
+        assert from_rows == from_columns
+        # State equivalence holds for the reconstruction against both.
+        reconstructed = result.state_map.backward(from_columns)
+        assert reconstructed == canonical
+        assert columnar == reconstructed

@@ -94,6 +94,33 @@ class TestReportOutput:
         first.pop("timings"), second.pop("timings")
         assert first == second
 
+    def test_report_is_byte_identical_across_check_workers(self, schema_file):
+        """Sharding the check phase is an execution detail: once the
+        wall-clock timings are stripped, the JSON report must be
+        byte-for-byte the same for every ``--check-workers`` count."""
+        reports = []
+        for workers in ("1", "2", "4"):
+            argv = ["validate", str(schema_file), "--backend", "sqlite",
+                    "--scale", "120", "--seed", "13",
+                    "--check-workers", workers, "--format", "json"]
+            code, output = run(argv)
+            assert code == EXIT_OK
+            decoded = json.loads(output)
+            decoded.pop("timings")
+            reports.append(json.dumps(decoded, sort_keys=True).encode())
+        assert reports[0] == reports[1] == reports[2]
+
+    def test_check_workers_is_recorded_in_timings(self, schema_file):
+        _, output = run(
+            ["validate", str(schema_file), "--backend", "memory",
+             "--scale", "100", "--no-inject", "--check-workers", "3",
+             "--format", "json"]
+        )
+        decoded = json.loads(output)
+        # The memory backend cannot snapshot, so the check runs serial
+        # and the report records the *effective* worker count.
+        assert decoded["timings"]["check_workers"] == 1
+
     def test_trace_records_executor_spans(self, schema_file, tmp_path):
         trace = tmp_path / "trace.json"
         code, _ = run(
