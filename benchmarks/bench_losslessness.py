@@ -72,6 +72,7 @@ def test_losslessness_at_scale(report):
 
     load_rate = validation.rows_loaded / validation.load_s
     check_rate = validation.rows_loaded / validation.check_s
+    round_trip_rate = validation.rows_loaded / validation.round_trip_s
     emit(
         "§4.1 losslessness, empirically — CRIS at "
         f"{validation.rows_loaded} rows on {validation.backend_used}",
@@ -81,7 +82,8 @@ def test_losslessness_at_scale(report):
             f"load: {validation.load_s:.3f}s ({load_rate:,.0f} rows/s)",
             f"check: {sum(validation.rule_counts.values())} rules in "
             f"{validation.check_s:.3f}s ({check_rate:,.0f} rows/s)",
-            f"round trip: {validation.round_trip_s:.3f}s, empty diff",
+            f"round trip: {validation.round_trip_s:.3f}s "
+            f"({round_trip_rate:,.0f} rows/s), empty diff",
             f"matrix: {len(validation.matrix.rows)} injections, "
             "diagonal",
             f"harness total: {total_wall_s:.3f}s",
@@ -96,6 +98,7 @@ def test_losslessness_at_scale(report):
             "round_trip_wall_s": round(validation.round_trip_s, 4),
             "load_rows_per_s": round(load_rate, 1),
             "check_rows_per_s": round(check_rate, 1),
+            "round_trip_rows_per_s": round(round_trip_rate, 1),
             "calibration_s": round(calibration_time(), 4),
         },
     )
@@ -152,9 +155,14 @@ def test_ceiling_at_1e6(cris):
     total_wall_s = perf_counter() - started
     assert validation.ok
     assert validation.rows_loaded >= SCALE_1E6
+    # The columnar backward map's acceptance ceiling: a 1e6-row CRIS
+    # round trip on stdlib SQLite must stay under 8 seconds (it was
+    # ~39s row-at-a-time).
+    assert validation.round_trip_s < 8.0
 
     load_rate = validation.rows_loaded / validation.load_s
     check_rate = validation.rows_loaded / validation.check_s
+    round_trip_rate = validation.rows_loaded / validation.round_trip_s
     emit(
         f"1e6-row ceiling — CRIS at {validation.rows_loaded} rows on "
         f"{validation.backend_used}",
@@ -163,7 +171,8 @@ def test_ceiling_at_1e6(cris):
             f"check: {sum(validation.rule_counts.values())} rules in "
             f"{validation.check_s:.3f}s over "
             f"{validation.check_workers} workers",
-            f"round trip: {validation.round_trip_s:.3f}s, empty diff",
+            f"round trip: {validation.round_trip_s:.3f}s "
+            f"({round_trip_rate:,.0f} rows/s), empty diff",
             f"harness total: {total_wall_s:.3f}s",
         ],
         data={
@@ -174,6 +183,7 @@ def test_ceiling_at_1e6(cris):
             "scale1e6_round_trip_wall_s": round(validation.round_trip_s, 4),
             "scale1e6_load_rows_per_s": round(load_rate, 1),
             "scale1e6_check_rows_per_s": round(check_rate, 1),
+            "scale1e6_round_trip_rows_per_s": round(round_trip_rate, 1),
             "check_workers": validation.check_workers,
             "calibration_s": round(calibration_time(), 4),
         },

@@ -49,14 +49,55 @@ def _load_metrics(path: Path, wall_key: str) -> dict | None:
     return None
 
 
+def _gate_key(
+    baseline_path: Path, current_path: Path, wall_key: str, threshold: float
+) -> bool:
+    """Gate one wall-time key; returns False on regression."""
+    baseline = _load_metrics(baseline_path, wall_key)
+    current = _load_metrics(current_path, wall_key)
+    if baseline is None:
+        print(f"[{wall_key}] no usable baseline at {baseline_path}; skipping")
+        return True
+    if current is None:
+        print(f"[{wall_key}] no usable current run at {current_path}; skipping")
+        return True
+
+    baseline_score = baseline[wall_key] / baseline[CALIBRATION_KEY]
+    current_score = current[wall_key] / current[CALIBRATION_KEY]
+    regression = current_score / baseline_score - 1.0
+    print(
+        f"[{wall_key}] baseline: {baseline[wall_key]:.3f}s wall / "
+        f"{baseline[CALIBRATION_KEY]:.4f}s calibration = "
+        f"{baseline_score:.2f}"
+    )
+    print(
+        f"[{wall_key}] current:  {current[wall_key]:.3f}s wall / "
+        f"{current[CALIBRATION_KEY]:.4f}s calibration = "
+        f"{current_score:.2f}"
+    )
+    print(
+        f"[{wall_key}] calibrated change: {regression:+.1%} "
+        f"(threshold +{threshold:.0%})"
+    )
+    if regression > threshold:
+        print(f"FAIL: {wall_key} regressed past the threshold")
+        return False
+    print(f"[{wall_key}] OK")
+    return True
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True)
     parser.add_argument("--current", type=Path, required=True)
     parser.add_argument(
         "--wall-key",
-        default=DEFAULT_WALL_KEY,
-        help=f"data key holding the wall time (default {DEFAULT_WALL_KEY})",
+        dest="wall_keys",
+        action="append",
+        help=(
+            "data key holding a wall time; repeatable to gate several "
+            f"keys in one run (default {DEFAULT_WALL_KEY})"
+        ),
     )
     parser.add_argument(
         "--threshold",
@@ -66,34 +107,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline = _load_metrics(args.baseline, args.wall_key)
-    current = _load_metrics(args.current, args.wall_key)
-    if baseline is None:
-        print(f"no usable baseline at {args.baseline}; skipping gate")
-        return 0
-    if current is None:
-        print(f"no usable current run at {args.current}; skipping gate")
-        return 0
-
-    baseline_score = baseline[args.wall_key] / baseline[CALIBRATION_KEY]
-    current_score = current[args.wall_key] / current[CALIBRATION_KEY]
-    regression = current_score / baseline_score - 1.0
-    print(
-        f"baseline: {baseline[args.wall_key]:.3f}s wall / "
-        f"{baseline[CALIBRATION_KEY]:.4f}s calibration = "
-        f"{baseline_score:.2f}"
+    wall_keys = args.wall_keys or [DEFAULT_WALL_KEY]
+    ok = all(
+        # Evaluate every key even after a failure so the log shows the
+        # full picture, not just the first regression.
+        [
+            _gate_key(args.baseline, args.current, key, args.threshold)
+            for key in wall_keys
+        ]
     )
-    print(
-        f"current:  {current[args.wall_key]:.3f}s wall / "
-        f"{current[CALIBRATION_KEY]:.4f}s calibration = "
-        f"{current_score:.2f}"
-    )
-    print(f"calibrated change: {regression:+.1%} (threshold +{args.threshold:.0%})")
-    if regression > args.threshold:
-        print(f"FAIL: {args.wall_key} regressed past the threshold")
-        return 1
-    print("OK")
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

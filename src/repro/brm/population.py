@@ -36,6 +36,7 @@ linear-scan oracle.
 from __future__ import annotations
 
 import itertools
+import operator
 from collections import Counter
 from collections.abc import Hashable, Iterable
 from dataclasses import dataclass
@@ -92,8 +93,11 @@ class Population:
         # Object-population version plus a sorted-instances cache:
         # the bulk generator and the state maps repeatedly need "the
         # instances of T in deterministic order", and re-sorting an
-        # unchanged population is O(n log n) per probe.
+        # unchanged population is O(n log n) per probe.  The cache is
+        # keyed per type: mutating one type (and its propagation
+        # closure) must not evict every other type's sorted column.
         self._objects_version = 0
+        self._type_versions: dict[str, int] = {}
         self._sorted_cache: dict[str, tuple[int, list[Instance]]] = {}
 
     # ------------------------------------------------------------------
@@ -108,10 +112,13 @@ class Population:
         """
         if type_name not in self._objects:
             raise PopulationError(f"no object type {type_name!r} in the schema")
+        self._objects_version += 1
+        version = self._objects_version
         self._objects[type_name].add(instance)
+        self._type_versions[type_name] = version
         for ancestor in self.schema.ancestors_of(type_name):
             self._objects[ancestor].add(instance)
-        self._objects_version += 1
+            self._type_versions[ancestor] = version
         return instance
 
     def add_instances(self, type_name: str, instances: Iterable[Instance]) -> None:
@@ -121,10 +128,13 @@ class Population:
         new = set(instances)
         if not new:
             return
+        self._objects_version += 1
+        version = self._objects_version
         self._objects[type_name].update(new)
+        self._type_versions[type_name] = version
         for ancestor in self.schema.ancestors_of(type_name):
             self._objects[ancestor].update(new)
-        self._objects_version += 1
+            self._type_versions[ancestor] = version
 
     def add_fact(
         self, fact_name: str, first: Instance, second: Instance
@@ -188,10 +198,13 @@ class Population:
             raise PopulationError(
                 f"{instance!r} is not an instance of {type_name!r}"
             )
+        self._objects_version += 1
+        version = self._objects_version
         self._objects[type_name].discard(instance)
+        self._type_versions[type_name] = version
         for descendant in self.schema.descendants_of(type_name):
             self._objects[descendant].discard(instance)
-        self._objects_version += 1
+            self._type_versions[descendant] = version
 
     # ------------------------------------------------------------------
     # Access
@@ -206,16 +219,18 @@ class Population:
     def sorted_instances(self, type_name: str) -> list[Instance]:
         """The population of an object type, sorted by ``repr``.
 
-        Cached against the object-population version: repeated probes
-        of an unchanged type (the bulk generator's inner loops) pay
-        one list copy instead of a fresh sort.
+        Cached against the *per-type* population version: repeated
+        probes of an unchanged type (the bulk generator's inner
+        loops) pay one list copy instead of a fresh sort, even while
+        other types keep mutating.
         """
         if type_name not in self._objects:
             raise PopulationError(f"no object type {type_name!r} in the schema")
+        version = self._type_versions.get(type_name, 0)
         cached = self._sorted_cache.get(type_name)
-        if cached is None or cached[0] != self._objects_version:
+        if cached is None or cached[0] != version:
             cached = (
-                self._objects_version,
+                version,
                 sorted(self._objects[type_name], key=repr),
             )
             self._sorted_cache[type_name] = cached
@@ -566,7 +581,10 @@ class ColumnarPopulation:
             f.name: set() for f in schema.fact_types
         }
         self._version = 0
-        # Lazy, version-tagged derived structures.
+        # Lazy, version-tagged derived structures.  ``_sorted_cache``
+        # is tagged with a per-type version so columns of untouched
+        # types survive mutations elsewhere in the population.
+        self._type_versions: dict[str, int] = {}
         self._columns_cache: dict[str, tuple[int, tuple[tuple, tuple]]] = {}
         self._co_cache: dict[tuple[str, int], tuple[int, dict]] = {}
         self._first_cache: dict[tuple[str, int], tuple[int, dict]] = {}
@@ -593,6 +611,43 @@ class ColumnarPopulation:
         """The id of a value, or ``None`` when never interned."""
         return self._intern.get(value)
 
+    def seed_intern_from(self, other: "ColumnarPopulation") -> None:
+        """Adopt another population's value interning (id-aligned).
+
+        Populating a fresh population with (mostly) the same values as
+        an existing one — the backward map reconstructing a state that
+        will be diffed against its canonical original — then assigns
+        identical ids to identical values, which turns
+        :meth:`state_diff` into direct id-set algebra with no
+        translation pass.  Only valid on an empty population.
+        """
+        if self._values:
+            raise PopulationError(
+                "seed_intern_from requires an empty intern table"
+            )
+        self._intern = dict(other._intern)
+        self._values = list(other._values)
+
+    def intern_all(self, column: Iterable[Instance]) -> list[int]:
+        """Intern a whole column of values in one pass.
+
+        The columnar backward map's bulk alternative to per-value
+        :meth:`intern` calls: one local-variable loop over the column,
+        returning the row-aligned id column.
+        """
+        intern = self._intern
+        values = self._values
+        out: list[int] = []
+        append = out.append
+        for value in column:
+            interned = intern.get(value)
+            if interned is None:
+                interned = len(values)
+                intern[value] = interned
+                values.append(value)
+            append(interned)
+        return out
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -602,23 +657,41 @@ class ColumnarPopulation:
         if type_name not in self._objects:
             raise PopulationError(f"no object type {type_name!r} in the schema")
         interned = self.intern(instance)
+        self._version += 1
+        version = self._version
         self._objects[type_name].add(interned)
+        self._type_versions[type_name] = version
         for ancestor in self.schema.ancestors_of(type_name):
             self._objects[ancestor].add(interned)
-        self._version += 1
+            self._type_versions[ancestor] = version
         return instance
 
     def add_instances(self, type_name: str, instances: Iterable[Instance]) -> None:
         """Add several instances to an object type (one bulk update)."""
         if type_name not in self._objects:
             raise PopulationError(f"no object type {type_name!r} in the schema")
-        new = {self.intern(instance) for instance in instances}
+        self.add_instance_ids(type_name, set(self.intern_all(instances)))
+
+    def add_instance_ids(self, type_name: str, ids: Iterable[int]) -> None:
+        """Bulk-add already-interned ids to a type and its supertypes.
+
+        The id-level twin of :meth:`add_instances` — the columnar
+        backward map interns each relation column once with
+        :meth:`intern_all` and then populates types directly from the
+        id columns.
+        """
+        if type_name not in self._objects:
+            raise PopulationError(f"no object type {type_name!r} in the schema")
+        new = ids if isinstance(ids, set) else set(ids)
         if not new:
             return
+        self._version += 1
+        version = self._version
         self._objects[type_name].update(new)
+        self._type_versions[type_name] = version
         for ancestor in self.schema.ancestors_of(type_name):
             self._objects[ancestor].update(new)
-        self._version += 1
+            self._type_versions[ancestor] = version
 
     def add_fact(
         self, fact_name: str, first: Instance, second: Instance
@@ -636,25 +709,82 @@ class ColumnarPopulation:
     def add_facts(
         self, fact_name: str, pairs: Iterable[tuple[Instance, Instance]]
     ) -> None:
-        """Add many fact instances in one batched update."""
+        """Add many fact instances in one batched update.
+
+        Each side is interned column-at-a-time (:meth:`intern_all`)
+        rather than value-by-value — at harness scale the per-pair
+        ``intern`` calls were the dominant cost of the columnar
+        backward map.
+        """
         if fact_name not in self._pairs:
             raise PopulationError(f"no fact type {fact_name!r} in the schema")
-        id_pairs = [
-            (self.intern(first), self.intern(second)) for first, second in pairs
-        ]
+        pairs = pairs if isinstance(pairs, list) else list(pairs)
+        if not pairs:
+            return
+        firsts = self.intern_all(map(operator.itemgetter(0), pairs))
+        seconds = self.intern_all(map(operator.itemgetter(1), pairs))
+        self._add_pairs(fact_name, list(zip(firsts, seconds)),
+                        set(firsts), set(seconds))
+
+    def add_fact_id_columns(
+        self, fact_name: str, firsts: list[int], seconds: list[int]
+    ) -> None:
+        """Bulk-add a fact population from two row-aligned id columns.
+
+        The fully columnar fact add: callers that already hold
+        interned columns (the backward map caches them per column
+        list) skip both the per-pair interning of :meth:`add_facts`
+        and the pair-scanning set builds of :meth:`add_pair_ids`.
+        """
+        if fact_name not in self._pairs:
+            raise PopulationError(f"no fact type {fact_name!r} in the schema")
+        if not firsts:
+            return
+        self._add_pairs(
+            fact_name, list(zip(firsts, seconds)), set(firsts), set(seconds)
+        )
+
+    def add_pair_ids(
+        self, fact_name: str, pairs: Iterable[tuple[int, int]]
+    ) -> None:
+        """Bulk-add already-interned id pairs to a fact type.
+
+        Both sides are auto-added to the players (with ancestor
+        propagation), exactly like :meth:`add_facts`, but without
+        touching the value level at all.
+        """
+        if fact_name not in self._pairs:
+            raise PopulationError(f"no fact type {fact_name!r} in the schema")
+        id_pairs = pairs if isinstance(pairs, list) else list(pairs)
         if not id_pairs:
             return
+        self._add_pairs(
+            fact_name,
+            id_pairs,
+            {pair[0] for pair in id_pairs},
+            {pair[1] for pair in id_pairs},
+        )
+
+    def _add_pairs(
+        self,
+        fact_name: str,
+        id_pairs: list[tuple[int, int]],
+        firsts: set[int],
+        seconds: set[int],
+    ) -> None:
+        self._version += 1
+        version = self._version
         fact = self.schema.fact_type(fact_name)
-        for type_name, position in (
-            (fact.first.player, 0),
-            (fact.second.player, 1),
+        for type_name, new in (
+            (fact.first.player, firsts),
+            (fact.second.player, seconds),
         ):
-            new = {pair[position] for pair in id_pairs}
             self._objects[type_name].update(new)
+            self._type_versions[type_name] = version
             for ancestor in self.schema.ancestors_of(type_name):
                 self._objects[ancestor].update(new)
+                self._type_versions[ancestor] = version
         self._pairs[fact_name].update(id_pairs)
-        self._version += 1
 
     def remove_fact(self, fact_name: str, first: Instance, second: Instance) -> None:
         """Remove one fact instance (object populations untouched)."""
@@ -678,10 +808,13 @@ class ColumnarPopulation:
             raise PopulationError(
                 f"{instance!r} is not an instance of {type_name!r}"
             )
+        self._version += 1
+        version = self._version
         self._objects[type_name].discard(interned)
+        self._type_versions[type_name] = version
         for descendant in self.schema.descendants_of(type_name):
             self._objects[descendant].discard(interned)
-        self._version += 1
+            self._type_versions[descendant] = version
 
     # ------------------------------------------------------------------
     # Conversion
@@ -726,14 +859,19 @@ class ColumnarPopulation:
         return self._objects[type_name]
 
     def ordered_ids(self, type_name: str) -> list[int]:
-        """Instance ids sorted by ``repr`` of their values (cached)."""
+        """Instance ids sorted by ``repr`` of their values.
+
+        Cached against the *per-type* version: only mutations that
+        touch this type (or its propagation closure) re-sort.
+        """
         if type_name not in self._objects:
             raise PopulationError(f"no object type {type_name!r} in the schema")
+        version = self._type_versions.get(type_name, 0)
         cached = self._sorted_cache.get(type_name)
-        if cached is None or cached[0] != self._version:
+        if cached is None or cached[0] != version:
             values = self._values
             cached = (
-                self._version,
+                version,
                 sorted(self._objects[type_name], key=lambda i: repr(values[i])),
             )
             self._sorted_cache[type_name] = cached
@@ -1161,6 +1299,56 @@ class ColumnarPopulation:
                 for name, pairs in self._pairs.items()
             },
         }
+
+    def state_diff(
+        self, other: "ColumnarPopulation | Population"
+    ) -> dict[str, int]:
+        """Per-type/per-fact symmetric-difference counts vs. another state.
+
+        The columnar replacement for materializing ``as_dict()`` on
+        both sides: ids are translated across intern spaces by value
+        through the other population's intern table (values the other
+        side never interned get unique negative sentinels, so they
+        always count as differing), and each population is compared
+        as id-set algebra.  Empty result iff the two states are equal
+        in the :meth:`__eq__` sense.
+        """
+        if not isinstance(other, ColumnarPopulation):
+            other = ColumnarPopulation.from_population(other)
+        lookup = other._intern
+        translate: list[int] = []
+        identity = True
+        for i, value in enumerate(self._values):
+            theirs = lookup.get(value)
+            if theirs is None:
+                theirs = -(i + 1)
+                identity = False
+            elif theirs != i:
+                identity = False
+            translate.append(theirs)
+        diff: dict[str, int] = {}
+        for name, mine in self._objects.items():
+            others = other._objects[name]
+            delta = len(
+                mine ^ others
+                if identity
+                else {translate[i] for i in mine} ^ others
+            )
+            if delta:
+                diff[name] = diff.get(name, 0) + delta
+        for name, pairs in self._pairs.items():
+            other_pairs = other._pairs[name]
+            if identity:
+                delta = len(pairs ^ other_pairs)
+            else:
+                translated = {
+                    (translate[first], translate[second])
+                    for first, second in pairs
+                }
+                delta = len(translated ^ other_pairs)
+            if delta:
+                diff[name] = diff.get(name, 0) + delta
+        return diff
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, (ColumnarPopulation, Population)):

@@ -147,6 +147,35 @@ class Database:
             self.schema.relation(relation_name)
         return len(self._tables[relation_name])
 
+    def fetch_columns(
+        self, relation_name: str, columns: tuple[str, ...] | None = None
+    ) -> dict[str, list[object]]:
+        """The relation as parallel value columns (insertion order).
+
+        The bulk read path of the columnar backward map: one list per
+        attribute instead of one dict per row, so whole-relation
+        consumers never materialize row dicts at all.
+        """
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        names = columns or self.schema.relation(relation_name).attribute_names
+        table = self._tables[relation_name]
+        return {name: [row.get(name) for row in table] for name in names}
+
+    def tuple_set(self, relation_name: str) -> frozenset[tuple[object, ...]]:
+        """One relation's rows as a set of attribute-ordered tuples.
+
+        The row-diff currency of the round trip: two states agree on
+        a relation iff their tuple sets are equal.
+        """
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        names = self.schema.relation(relation_name).attribute_names
+        return frozenset(
+            tuple(row.get(name) for name in names)
+            for row in self._tables[relation_name]
+        )
+
     def select(
         self,
         relation_name: str,
@@ -154,9 +183,14 @@ class Database:
         columns: tuple[str, ...] | None = None,
     ) -> list[Row]:
         """Rows (optionally projected) satisfying ``where``."""
-        matched = select_rows(self.rows(relation_name), where)
+        if relation_name not in self._tables:
+            self.schema.relation(relation_name)
+        # Filter the live table and copy only the matches: callers
+        # own the returned dicts, but non-matching rows are never
+        # materialized.
+        matched = select_rows(self._tables[relation_name], where)
         if columns is None:
-            return matched
+            return [dict(row) for row in matched]
         return [{c: row.get(c) for c in columns} for row in matched]
 
     def evaluate_select(self, spec: SelectSpec) -> set[tuple[object, ...]]:
@@ -321,14 +355,10 @@ class Database:
 
     def as_dict(self) -> dict[str, frozenset[tuple[object, ...]]]:
         """A canonical snapshot: relation -> set of attribute tuples."""
-        snapshot = {}
-        for relation in self.schema.relations:
-            columns = relation.attribute_names
-            snapshot[relation.name] = frozenset(
-                tuple(row.get(c) for c in columns)
-                for row in self._tables[relation.name]
-            )
-        return snapshot
+        return {
+            relation.name: self.tuple_set(relation.name)
+            for relation in self.schema.relations
+        }
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):

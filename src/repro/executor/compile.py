@@ -79,6 +79,27 @@ class CompiledRule:
     #: For ``not-null`` rules: the guarded column.
     column: str | None = None
 
+    @property
+    def relations(self) -> frozenset[str]:
+        """Every relation this rule's verdict depends on.
+
+        The incremental replay paths (injection matrix, COW
+        verifier) re-run a rule only when one of its dependency
+        relations changed; a rule whose dependencies are untouched
+        keeps its baseline verdict.
+        """
+        constraint = self.constraint
+        deps = {self.relation}
+        if isinstance(constraint, ForeignKey):
+            deps.add(constraint.referenced_relation)
+        elif isinstance(constraint, EqualityViewConstraint):
+            deps.add(constraint.left.relation)
+            deps.add(constraint.right.relation)
+        elif isinstance(constraint, SubsetViewConstraint):
+            deps.add(constraint.subset.relation)
+            deps.add(constraint.superset.relation)
+        return frozenset(deps)
+
     def __post_init__(self) -> None:
         if self.kind not in RULE_KINDS:
             raise ValueError(f"unknown rule kind {self.kind!r}")

@@ -484,6 +484,384 @@ class RelationalStateMap:
                 )
         population.add_fact(membership.fact, fillers[0], fillers[1])
 
+    # ------------------------------------------------------------------
+    # Backward: columnar kernel
+    # ------------------------------------------------------------------
+
+    def backward_columnar(
+        self,
+        columns: dict[str, dict[str, list]],
+        *,
+        intern_like: ColumnarPopulation | None = None,
+    ) -> ColumnarPopulation:
+        """The canonical population from bulk relation columns.
+
+        The columnar twin of :meth:`backward`, which remains the
+        tuple-at-a-time oracle.  ``columns`` maps each present
+        relation to parallel, row-aligned value columns (one list per
+        attribute — the shape :meth:`Backend.fetch_columns` and
+        :meth:`Database.fetch_columns` return).  The four passes, the
+        own-identifier resolution index and the defect semantics
+        mirror ``backward`` exactly on database states the forward
+        map can produce — property-tested byte-equal against the
+        oracle — but every relation is processed column-at-a-time:
+        instances are resolved per column, interned in bulk, and the
+        reference chains become per-leg batched fact adds instead of
+        per-row ``add_fact`` calls.
+
+        ``intern_like`` pre-seeds the result's intern table from an
+        existing population (typically the canonical original the
+        caller is about to diff against): identical values then get
+        identical ids, so the subsequent ``state_diff`` needs no id
+        translation.  Purely an id-space alignment — the value-level
+        content is unaffected.
+        """
+        population = ColumnarPopulation(self.plan.schema)
+        if intern_like is not None:
+            population.seed_intern_from(intern_like)
+        index: dict[tuple[str, tuple], Instance] = {}
+        # id(column list) -> (column list, interned id column).  The
+        # same instance column feeds every fact group of its relation
+        # (and deeper chains reuse their targets as owners), so each
+        # distinct column is interned exactly once per reconstruction.
+        cache: dict[int, tuple[list, list[int]]] = {}
+
+        anchors = [p for p in self.plan.plans.values() if p.kind == "anchor"]
+        others = [p for p in self.plan.plans.values() if p.kind != "anchor"]
+
+        # Pass 1a: anchor instance columns, reference chains, sublink
+        # columns (builds the own-identifier index top-down).
+        instance_columns: dict[str, list[Instance]] = {}
+        for relation_plan in anchors:
+            if not self.rschema.has_relation(relation_plan.relation):
+                continue
+            cols = columns.get(relation_plan.relation)
+            if cols is None:
+                continue
+            instance_columns[relation_plan.relation] = self._column_instances(
+                population, index, cache, relation_plan,
+                _BackwardPrep(relation_plan), cols,
+            )
+
+        # Pass 1b: functional fact columns of the anchors.
+        for relation_plan in anchors:
+            instances = instance_columns.get(relation_plan.relation)
+            if instances is None:
+                continue
+            self._column_fact_groups(
+                population, index, cache, _BackwardPrep(relation_plan),
+                columns[relation_plan.relation], instances,
+            )
+
+        # Pass 2: satellites and fact relations.
+        for relation_plan in others:
+            if not self.rschema.has_relation(relation_plan.relation):
+                continue
+            cols = columns.get(relation_plan.relation)
+            if cols is None:
+                continue
+            prep = _BackwardPrep(relation_plan)
+            if isinstance(relation_plan.membership, RolePlayers):
+                self._column_satellites(
+                    population, index, cache, relation_plan, prep, cols
+                )
+            elif isinstance(relation_plan.membership, FactPairs):
+                self._column_pairs(
+                    population, index, cache, relation_plan, prep, cols
+                )
+
+        # Pass 3: subtype membership carried only by an indicator fact
+        # (INDICATOR policy with an omitted factless sub-relation).
+        for repr_ in self.plan.sublink_reprs.values():
+            if repr_.sub_relation is not None or repr_.indicator_fact is None:
+                continue
+            y_id = population.id_of("Y")
+            if y_id is None:
+                continue
+            population.add_instance_ids(
+                repr_.subtype,
+                {
+                    first
+                    for first, second in population.pair_ids(
+                        repr_.indicator_fact
+                    )
+                    if second == y_id
+                },
+            )
+        return population
+
+    def _column_instances(
+        self,
+        population: ColumnarPopulation,
+        index: dict,
+        cache: dict[int, tuple[list, list[int]]],
+        relation_plan: RelationPlan,
+        prep: "_BackwardPrep",
+        cols: dict[str, list],
+    ) -> list[Instance]:
+        """Pass 1a for one anchor relation, whole columns at once."""
+        owner = relation_plan.owner
+        assert owner is not None
+        if owner in self.plan.disjunctive:
+            unit_cols = [cols[u.name] for u in prep.disjunct_units]
+            if unit_cols:
+                instances: list[Instance] = list(zip(*unit_cols))
+            else:
+                count = len(next(iter(cols.values()), ()))
+                instances = [()] * count
+            population.add_instance_ids(
+                owner, set(self._interned(population, cache, instances))
+            )
+            return instances
+        key_cols = [cols[c] for c in relation_plan.key_columns]
+        instances = self._resolve_column(index, owner, key_cols)
+        population.add_instance_ids(
+            owner, set(self._interned(population, cache, instances))
+        )
+        if prep.self_legs:
+            self._column_chain(
+                population,
+                index,
+                cache,
+                owner,
+                instances,
+                [(leaf, cols[name]) for name, leaf in prep.self_legs],
+            )
+        for sublink_name, subtype, units in prep.sublink_groups:
+            leg_cols = [cols[u.name] for u in units]
+            keep = [
+                i
+                for i in range(len(instances))
+                if all(col[i] is not None for col in leg_cols)
+            ]
+            if not keep:
+                continue
+            kept_cols = [[col[i] for i in keep] for col in leg_cols]
+            kept_instances = [instances[i] for i in keep]
+            population.add_instance_ids(
+                subtype, set(self._interned(population, cache, kept_instances))
+            )
+            for row, instance in zip(zip(*kept_cols), kept_instances):
+                index[(subtype, row)] = instance
+            deeper = [
+                (u.source.leaf, col)
+                for u, col in zip(units, kept_cols)
+                if u.source.leaf.path
+            ]
+            if deeper:
+                self._column_chain(
+                    population, index, cache, subtype, kept_instances, deeper
+                )
+        return instances
+
+    def _interned(
+        self,
+        population: ColumnarPopulation,
+        cache: dict[int, tuple[list, list[int]]],
+        column: list[Instance],
+    ) -> list[int]:
+        """The interned id column of a value column, cached per list.
+
+        Keyed by ``id(column)`` with an identity re-check; the cache
+        holds the column itself so the key cannot be recycled while
+        the entry lives.
+        """
+        entry = cache.get(id(column))
+        if entry is not None and entry[0] is column:
+            return entry[1]
+        ids = population.intern_all(column)
+        cache[id(column)] = (column, ids)
+        return ids
+
+    def _resolve_column(
+        self, index: dict, type_name: str, value_columns: list[list]
+    ) -> list[Instance]:
+        """:meth:`_resolve` for whole key columns at once."""
+        delegate = self._delegate.get(type_name)
+        if len(value_columns) == 1:
+            singles = value_columns[0]
+            if delegate is None:
+                return list(singles)
+            get = index.get
+            return [
+                value if (hit := get((delegate, (value,)))) is None else hit
+                for value in singles
+            ]
+        rows = list(zip(*value_columns))
+        if delegate is None:
+            return rows
+        get = index.get
+        return [
+            row if (hit := get((delegate, row))) is None else hit
+            for row in rows
+        ]
+
+    def _column_chain(
+        self,
+        population: ColumnarPopulation,
+        index: dict,
+        cache: dict[int, tuple[list, list[int]]],
+        owner_type: str,
+        owner_column: list[Instance],
+        legs: list,
+    ) -> None:
+        """:meth:`_reconstruct_chain` for whole columns at once.
+
+        Mirrors the per-row early return: a row with ``None`` in *any*
+        leg at this level is dropped from every group of the level
+        (incomplete reference, left unreconstructed).
+        """
+        leg_cols = [col for _, col in legs]
+        # ``None in col`` runs the scan at C speed; columns are clean
+        # in the common (mandatory-role) case.
+        if any(None in col for col in leg_cols):
+            keep = [
+                i
+                for i in range(len(owner_column))
+                if all(col[i] is not None for col in leg_cols)
+            ]
+            owner_column = [owner_column[i] for i in keep]
+            legs = [(leaf, [col[i] for i in keep]) for leaf, col in legs]
+        if not owner_column:
+            return
+        groups: dict[object, list] = {}
+        for leaf, col in legs:
+            groups.setdefault(leaf.path[0], []).append((leaf, col))
+        schema = self.plan.schema
+        for component, group in groups.items():
+            targets = self._resolve_column(
+                index, component.target, [col for _, col in group]
+            )
+            fact = schema.fact_type(component.fact)
+            owner_ids = self._interned(population, cache, owner_column)
+            target_ids = self._interned(population, cache, targets)
+            if fact.first.name == component.near_role:
+                population.add_fact_id_columns(
+                    component.fact, owner_ids, target_ids
+                )
+            else:
+                population.add_fact_id_columns(
+                    component.fact, target_ids, owner_ids
+                )
+            deeper = [
+                (LexicalLeaf(leaf.path[1:], leaf.lot, leaf.datatype), col)
+                for leaf, col in group
+                if len(leaf.path) > 1
+            ]
+            if deeper:
+                self._column_chain(
+                    population, index, cache, component.target, targets,
+                    deeper,
+                )
+
+    def _column_fact_groups(
+        self,
+        population: ColumnarPopulation,
+        index: dict,
+        cache: dict[int, tuple[list, list[int]]],
+        prep: "_BackwardPrep",
+        cols: dict[str, list],
+        instances: list[Instance],
+    ) -> None:
+        """Passes 1b/2: functional fact columns, whole columns at once."""
+        schema = self.plan.schema
+        for fact_name, units in prep.fact_groups:
+            unit_cols = [cols[u.name] for u in units]
+            if any(None in col for col in unit_cols):
+                keep = [
+                    i
+                    for i in range(len(instances))
+                    if all(col[i] is not None for col in unit_cols)
+                ]
+                if not keep:
+                    continue
+                unit_cols = [[col[i] for i in keep] for col in unit_cols]
+                kept_instances = [instances[i] for i in keep]
+            else:
+                kept_instances = instances
+            if not kept_instances:
+                continue
+            source = units[0].source
+            fact = schema.fact_type(fact_name)
+            target_type = fact.player_of(source.far_role)
+            targets = self._resolve_column(index, target_type, unit_cols)
+            owner_ids = self._interned(population, cache, kept_instances)
+            target_ids = self._interned(population, cache, targets)
+            if fact.first.name == source.near_role:
+                population.add_fact_id_columns(fact_name, owner_ids, target_ids)
+            else:
+                population.add_fact_id_columns(fact_name, target_ids, owner_ids)
+            deeper = [
+                (u.source.leaf, col)
+                for u, col in zip(units, unit_cols)
+                if u.source.leaf.path
+            ]
+            if deeper:
+                self._column_chain(
+                    population, index, cache, target_type, targets, deeper
+                )
+
+    def _column_satellites(
+        self,
+        population: ColumnarPopulation,
+        index: dict,
+        cache: dict[int, tuple[list, list[int]]],
+        relation_plan: RelationPlan,
+        prep: "_BackwardPrep",
+        cols: dict[str, list],
+    ) -> None:
+        """Pass 2 for one satellite relation (RolePlayers membership)."""
+        owner = relation_plan.owner
+        assert owner is not None
+        key_cols = [cols[c] for c in relation_plan.key_columns]
+        instances = self._resolve_column(index, owner, key_cols)
+        population.add_instance_ids(
+            owner, set(self._interned(population, cache, instances))
+        )
+        self._column_fact_groups(
+            population, index, cache, prep, cols, instances
+        )
+
+    def _column_pairs(
+        self,
+        population: ColumnarPopulation,
+        index: dict,
+        cache: dict[int, tuple[list, list[int]]],
+        relation_plan: RelationPlan,
+        prep: "_BackwardPrep",
+        cols: dict[str, list],
+    ) -> None:
+        """Pass 2 for one fact relation (FactPairs membership)."""
+        membership = relation_plan.membership
+        assert isinstance(membership, FactPairs)
+        filler_columns = []
+        for units in prep.pair_sides:
+            unit_cols = [cols[u.name] for u in units]
+            source = units[0].source
+            fillers = self._resolve_column(index, source.player, unit_cols)
+            filler_columns.append(fillers)
+            # Structural condition, exactly like the per-row pass: any
+            # unit with a leaf path means every row's filler is
+            # instance-added before its chain is reconstructed.
+            deeper = [
+                (u.source.leaf, col)
+                for u, col in zip(units, unit_cols)
+                if u.source.leaf.path
+            ]
+            if deeper:
+                population.add_instance_ids(
+                    source.player,
+                    set(self._interned(population, cache, fillers)),
+                )
+                self._column_chain(
+                    population, index, cache, source.player, fillers, deeper
+                )
+        population.add_fact_id_columns(
+            membership.fact,
+            self._interned(population, cache, filler_columns[0]),
+            self._interned(population, cache, filler_columns[1]),
+        )
+
 
 class _BackwardPrep:
     """Per-plan column groupings, hoisted out of the per-row loops.
@@ -540,8 +918,8 @@ class _BackwardPrep:
 
 
 def canonicalize_population(
-    plan: MappingPlan, population: AnyPopulation
-) -> Population:
+    plan: MappingPlan, population: AnyPopulation, *, columnar: bool = False
+) -> AnyPopulation:
     """Rename abstract instances to their lexical reference values.
 
     Each non-lexical instance is renamed to the (tuple of) values of
@@ -554,10 +932,15 @@ def canonicalize_population(
     (:func:`_leg_maps`), so renaming an instance is a handful of dict
     lookups instead of per-instance ``facts_of`` probes and filler
     sorts.
+
+    With ``columnar=True`` the canonical state is built as a
+    :class:`ColumnarPopulation` (same content): downstream whole-
+    population consumers — the batch forward map, ``state_diff``
+    round-trip comparison — then skip the row/columnar conversion.
     """
     schema = plan.schema
-    columnar = _columnar(population)
-    value = columnar.value
+    source = _columnar(population)
+    value = source.value
 
     # root -> ("disjunct", [first_co map per scheme fact]) or
     #         ("legs", [leg map chain per reference leaf])
@@ -576,14 +959,14 @@ def canonicalize_population(
                     fact.first if fact.first.player == root else fact.second
                 )
                 maps.append(
-                    columnar.first_co(fact_name, fact.position_of(near.name))
+                    source.first_co(fact_name, fact.position_of(near.name))
                 )
             resolver = ("disjunct", maps)
         else:
             resolver = (
                 "legs",
                 [
-                    _leg_maps(columnar, leaf.path)
+                    _leg_maps(source, leaf.path)
                     for leaf in plan.resolver.leaves(root)
                 ],
             )
@@ -630,12 +1013,14 @@ def canonicalize_population(
         renames[key] = renamed
         return renamed
 
-    canonical = Population(schema)
+    canonical: AnyPopulation = (
+        ColumnarPopulation(schema) if columnar else Population(schema)
+    )
     for object_type in schema.object_types:
         name = object_type.name
         canonical.add_instances(
             name,
-            (rename(name, i) for i in columnar.instance_ids(name)),
+            (rename(name, i) for i in source.instance_ids(name)),
         )
     for fact in schema.fact_types:
         first_type = fact.first.player
@@ -644,7 +1029,7 @@ def canonicalize_population(
             fact.name,
             [
                 (rename(first_type, first), rename(second_type, second))
-                for first, second in columnar.pair_ids(fact.name)
+                for first, second in source.pair_ids(fact.name)
             ],
         )
     return canonical

@@ -317,7 +317,9 @@ class QueryCompiler:
         the optional fact is absent).
         """
         anchor = compiled.root.relation
-        rows = database.rows(anchor)
+        # Read-only row views: the filters below rebuild lists but
+        # never mutate the yielded dicts.
+        rows = list(database.iter_rows(anchor))
         # Apply anchor-level filters and membership predicates.
         for relation, column, value in compiled.filters:
             if relation == anchor:
@@ -331,7 +333,7 @@ class QueryCompiler:
             else:
                 member_keys = {
                     tuple(m.get(c) for c in self.plan.plans[relation].key_columns)
-                    for m in database.rows(relation)
+                    for m in database.iter_rows(relation)
                     if value is None
                     and m.get(column) is not None
                     or m.get(column) == value
@@ -381,7 +383,7 @@ class QueryCompiler:
             if all(v is None for v in values.values()):
                 return None
             return values
-        for candidate in database.rows(step.relation):
+        for candidate in database.iter_rows(step.relation):
             if all(
                 root_row.get(root_col) == candidate.get(step_col)
                 for root_col, step_col in step.join_on

@@ -125,6 +125,33 @@ def _cow_copy(dataset: Dataset) -> _CowDataset:
     return _CowDataset(dataset)
 
 
+#: ``id(dataset) -> (dataset, value set)`` for :func:`fresh_value`.
+#: Identity-keyed (with an ``is`` re-check against id reuse) because
+#: the planner probes the *same* clean dataset hundreds of times —
+#: once per freshened column per candidate — and rebuilding the
+#: value set each time scaled with (candidates x dataset size).
+#: Bounded: cleared once it holds a handful of datasets.
+_VALUES_CACHE: dict[int, tuple[Dataset, frozenset]] = {}
+
+
+def _known_values(dataset: Dataset) -> frozenset:
+    """Every non-NULL value appearing anywhere in the dataset."""
+    cached = _VALUES_CACHE.get(id(dataset))
+    if cached is not None and cached[0] is dataset:
+        return cached[1]
+    values = frozenset(
+        value
+        for rows in dataset.values()
+        for row in rows
+        for value in row.values()
+        if value is not None
+    )
+    if len(_VALUES_CACHE) >= 4:
+        _VALUES_CACHE.clear()
+    _VALUES_CACHE[id(dataset)] = (dataset, values)
+    return values
+
+
 def fresh_value(
     schema: RelationalSchema,
     relation: str,
@@ -142,13 +169,7 @@ def fresh_value(
     datatype = schema.domain(
         schema.relation(relation).attribute(column).domain
     ).datatype
-    everywhere = {
-        value
-        for rows in dataset.values()
-        for row in rows
-        for value in row.values()
-        if value is not None
-    }
+    everywhere = _known_values(dataset)
     if datatype.kind in (DataTypeKind.NUMERIC, DataTypeKind.INTEGER,
                          DataTypeKind.SMALLINT, DataTypeKind.REAL):
         scaled = (
@@ -387,19 +408,23 @@ MUTATORS: dict[str, Callable] = {
 def default_verifier(
     schema: RelationalSchema, rules: tuple[CompiledRule, ...]
 ) -> Callable[[Dataset], set[str]]:
-    """A full-rule checker on the in-memory reference backend.
+    """An incremental full-rule checker on the in-memory backend.
 
     Copy-on-write candidates (:class:`_CowDataset`) are checked
     against a *cached* load of their clean base: the baseline
-    database is built once per base dataset, and each candidate forks
-    it by sharing the untouched tables and re-loading only the
-    touched ones — so ``--inject`` planning no longer re-loads the
-    full dataset once per candidate per rule.
+    database (and its violation set) is built once per base dataset,
+    and each candidate forks it by sharing the untouched tables and
+    re-loading only the touched ones.  On the fork, only rules whose
+    dependency relations (:attr:`CompiledRule.relations`) intersect
+    the candidate's touched set are re-run — a rule reading only
+    shared tables must return its baseline verdict, which is carried
+    over instead of recomputed.  ``--inject`` planning therefore runs
+    a handful of rules per candidate instead of the full rule set.
     """
     from repro.engine.database import Database
     from repro.executor.backends import MemoryBackend
 
-    baselines: dict[int, Database] = {}
+    baselines: dict[int, tuple[Database, set[str]]] = {}
 
     def verify(dataset: Dataset) -> set[str]:
         backend = MemoryBackend()
@@ -410,21 +435,36 @@ def default_verifier(
                 backend.insert_rows(relation, rows)
             return {violation.rule for violation in backend.check(rules)}
         key = id(base)
-        baseline = baselines.get(key)
-        if baseline is None:
+        cached = baselines.get(key)
+        if cached is None:
             baseline = Database(schema)
             for relation, rows in base.items():
                 baseline.insert_many(relation, rows)
-            baselines[key] = baseline
+            backend.database = baseline
+            base_violations = {
+                violation.rule for violation in backend.check(rules)
+            }
+            baselines[key] = (baseline, base_violations)
+        else:
+            baseline, base_violations = cached
+        touched = dataset.touched
+        affected = tuple(r for r in rules if r.relations & touched)
         fork = Database(schema)
         for name in list(fork._tables):
-            if name in dataset.touched:
+            if name in touched:
                 fork.insert_many(name, dataset[name])
             else:
                 # Shared by reference: checking never mutates rows.
                 fork._tables[name] = baseline._tables[name]
         backend.database = fork
-        return {violation.rule for violation in backend.check(rules)}
+        fired = {violation.rule for violation in backend.check(affected)}
+        carried = {
+            rule.name
+            for rule in rules
+            if rule.name in base_violations
+            and not (rule.relations & touched)
+        }
+        return fired | carried
 
     return verify
 

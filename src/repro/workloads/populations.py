@@ -132,23 +132,26 @@ def _generate(
     for object_type in ordered:
         name = object_type.name
         if not schema.supertypes_of(name):
-            for index in range(instances_per_type):
-                population.add_instance(name, f"{name.lower()}_{index}")
+            population.add_instances(
+                name,
+                [f"{name.lower()}_{index}"
+                 for index in range(instances_per_type)],
+            )
             continue
         for sublink in schema.sublinks_from(name):
             supers = population.sorted_instances(sublink.supertype)
-            members = set()
-            for instance in supers:
-                if rng.random() >= 0.5:
-                    continue
-                conflict = any(
-                    frozenset((sublink.name, other)) in excluded_sublinks
-                    and instance in claimed.get(other, set())
-                    for other in claimed
-                )
-                if conflict:
-                    continue
-                members.add(instance)
+            # One draw per candidate, batched; instances claimed by a
+            # mutually-exclusive sibling sublink are blocked wholesale.
+            draws = [rng.random() for _ in supers]
+            blocked: set = set()
+            for other, taken in claimed.items():
+                if frozenset((sublink.name, other)) in excluded_sublinks:
+                    blocked |= taken
+            members = {
+                instance
+                for instance, draw in zip(supers, draws)
+                if draw < 0.5 and instance not in blocked
+            }
             claimed[sublink.name] = members
             population.add_instances(name, members)
 
@@ -210,45 +213,44 @@ def _generate(
         far_player = schema.object_type(far_role.player)
         pool = _lexical_pool(schema, far_role.player)
         members = chosen[near_id]
-        # Sorted once per fact: fillers for a NOLOT far role are drawn
-        # from the pre-existing instances, so the pool is stable across
-        # the inner loop (re-sorting per instance is quadratic).
-        far_existing: list | None = None
-        if far_player.is_nolot:
+        picked = [
+            (index, instance)
+            for index, instance in enumerate(
+                population.sorted_instances(near_role.player)
+            )
+            if instance in members
+        ]
+        if not picked:
+            continue
+        # The whole filler column is built before a single pair lands
+        # in the population, then added with one ``add_facts`` call —
+        # filler auto-adds and ancestor propagation run once per fact
+        # type instead of once per row.
+        if far_unique:
+            # Distinct per instance; a value-constrained far type
+            # spends its allowed values first.
+            spend_pool = schema.value_constraint_on(far_role.player) is not None
+            tag = fact.name.lower()
+            fillers = [
+                pool[index]
+                if spend_pool and index < len(pool)
+                else _typed_filler(far_player.datatype, tag, index)
+                for index, _ in picked
+            ]
+        elif far_player.is_nolot:
             far_existing = population.sorted_instances(far_role.player)
-        for index, instance in enumerate(
-            population.sorted_instances(near_role.player)
-        ):
-            if instance not in members:
-                continue
-            if far_unique:
-                # Distinct per instance; a value-constrained far type
-                # spends its allowed values first.
-                if schema.value_constraint_on(far_role.player) is not None:
-                    filler = (
-                        pool[index]
-                        if index < len(pool)
-                        else _typed_filler(
-                            far_player.datatype,
-                            fact.name.lower(), index,
-                        )
-                    )
-                else:
-                    filler = _typed_filler(
-                        far_player.datatype, fact.name.lower(), index
-                    )
-            elif far_player.is_nolot:
-                filler = (
-                    rng.choice(far_existing)
-                    if far_existing
-                    else f"{fact.name}_x"
-                )
-            else:
-                filler = rng.choice(pool)
-            if near_id == first_id:
-                population.add_fact(fact.name, instance, filler)
-            else:
-                population.add_fact(fact.name, filler, instance)
+            fillers = (
+                rng.choices(far_existing, k=len(picked))
+                if far_existing
+                else [f"{fact.name}_x"] * len(picked)
+            )
+        else:
+            fillers = rng.choices(pool, k=len(picked))
+        owners = [instance for _, instance in picked]
+        if near_id == first_id:
+            population.add_facts(fact.name, zip(owners, fillers))
+        else:
+            population.add_facts(fact.name, zip(fillers, owners))
 
     # 3. Many-to-many facts: a few random pairs per fact type.
     for fact in schema.fact_types:
@@ -268,19 +270,22 @@ def _generate(
         # mapper turns such roles into C_SUB$ view constraints, which
         # the validation harness checks on a *valid* state).
         if schema.is_total(first_id):
-            for instance in first_pool:
-                population.add_fact(
-                    fact.name, instance, rng.choice(second_pool)
-                )
-        if schema.is_total(second_id):
-            for instance in second_pool:
-                population.add_fact(
-                    fact.name, rng.choice(first_pool), instance
-                )
-        for _ in range(instances_per_type):
-            population.add_fact(
-                fact.name, rng.choice(first_pool), rng.choice(second_pool)
+            population.add_facts(
+                fact.name,
+                zip(first_pool,
+                    rng.choices(second_pool, k=len(first_pool))),
             )
+        if schema.is_total(second_id):
+            population.add_facts(
+                fact.name,
+                zip(rng.choices(first_pool, k=len(second_pool)),
+                    second_pool),
+            )
+        population.add_facts(
+            fact.name,
+            zip(rng.choices(first_pool, k=instances_per_type),
+                rng.choices(second_pool, k=instances_per_type)),
+        )
     return population
 
 

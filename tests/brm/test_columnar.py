@@ -228,3 +228,102 @@ class TestStateMapEquivalence:
         reconstructed = result.state_map.backward(from_columns)
         assert reconstructed == canonical
         assert columnar == reconstructed
+
+
+class TestIdLevelPrimitives:
+    """The bulk id-level construction API the backward map runs on."""
+
+    def _columnar(self):
+        return ColumnarPopulation(figure6_schema())
+
+    def test_intern_all_is_per_value_intern(self):
+        columnar = self._columnar()
+        column = ["a", "b", "a", "c", "b"]
+        ids = columnar.intern_all(column)
+        assert ids == [columnar.intern(v) for v in column]
+        assert ids[0] == ids[2] and ids[1] == ids[4]
+
+    def test_add_instance_ids_propagates_to_ancestors(self):
+        columnar = self._columnar()
+        ids = columnar.intern_all(["inv_1", "inv_2"])
+        columnar.add_instance_ids("Invited_Paper", set(ids))
+        assert columnar.instances("Invited_Paper") == {"inv_1", "inv_2"}
+        # Invited_Paper IS-A Paper: extensional subtyping by construction.
+        assert columnar.instances("Paper") >= {"inv_1", "inv_2"}
+
+    def test_add_pair_ids_matches_add_facts(self):
+        schema = figure6_schema()
+        by_values = ColumnarPopulation(schema)
+        by_ids = ColumnarPopulation(schema)
+        pairs = [("p_1", "alice"), ("p_2", "bob"), ("p_3", "alice")]
+        by_values.add_facts("presents", pairs)
+        by_ids.add_pair_ids(
+            "presents",
+            [
+                (by_ids.intern(first), by_ids.intern(second))
+                for first, second in pairs
+            ],
+        )
+        assert by_ids == by_values
+        assert by_ids.state_diff(by_values) == {}
+
+    def test_add_fact_id_columns_matches_add_facts(self):
+        schema = figure6_schema()
+        by_values = ColumnarPopulation(schema)
+        by_columns = ColumnarPopulation(schema)
+        pairs = [("p_1", "alice"), ("p_2", "bob")]
+        by_values.add_facts("presents", pairs)
+        by_columns.add_fact_id_columns(
+            "presents",
+            by_columns.intern_all([first for first, _ in pairs]),
+            by_columns.intern_all([second for _, second in pairs]),
+        )
+        assert by_columns == by_values
+        # Empty columns are a no-op, not a version bump.
+        before = by_columns._version
+        by_columns.add_fact_id_columns("presents", [], [])
+        assert by_columns._version == before
+
+
+class TestStateDiff:
+    """Columnar set-algebra comparison across intern spaces."""
+
+    def test_empty_iff_equal(self):
+        schema = figure6_schema()
+        population = figure6_population(schema)
+        columnar = ColumnarPopulation.from_population(population)
+        # Different intern orders, same state.
+        twin = ColumnarPopulation(schema)
+        for fact in reversed(schema.fact_types):
+            twin.add_facts(
+                fact.name, sorted(population.fact_instances(fact.name))
+            )
+        for object_type in schema.object_types:
+            twin.add_instances(
+                object_type.name, population.instances(object_type.name)
+            )
+        assert twin.state_diff(columnar) == {}
+        assert columnar.state_diff(twin) == {}
+        assert twin.state_diff(population) == {}
+
+    def test_counts_symmetric_differences(self):
+        schema = figure6_schema()
+        left = ColumnarPopulation(schema)
+        right = ColumnarPopulation(schema)
+        left.add_instances("Person", ["alice", "bob"])
+        right.add_instances("Person", ["alice", "carol"])
+        right.add_fact("presents", "p_9", "carol")
+        diff = left.state_diff(right)
+        assert diff["Person"] == 2  # bob only-left, carol only-right
+        assert diff["presents"] == 1
+        assert diff["Program_Paper"] == 1  # p_9 auto-added on the right
+
+    def test_never_interned_values_always_differ(self):
+        # The negative-sentinel path: a value the other side has never
+        # seen must count as a difference even when id numbers collide.
+        schema = figure6_schema()
+        left = ColumnarPopulation(schema)
+        right = ColumnarPopulation(schema)
+        left.add_instance("Person", "only_left")
+        right.add_instance("Person", "only_right")
+        assert left.state_diff(right) == {"Person": 2}

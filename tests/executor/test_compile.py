@@ -121,3 +121,38 @@ class TestSqlPredicate:
 
     def test_view_aliases_are_positional(self):
         assert view_aliases(3) == ("v1", "v2", "v3")
+
+
+class TestRuleDependencyRelations:
+    """``CompiledRule.relations`` — the dependency set the incremental
+    replay paths (injection matrix, COW verifier) key rule re-runs on.
+    An under-approximation here would silently carry stale verdicts."""
+
+    def test_single_relation_rules_depend_on_their_relation(self, cris):
+        grouped = rules_by_kind(cris)
+        for kind in ("not-null", "primary-key", "candidate-key"):
+            for rule in grouped.get(kind, ()):
+                assert rule.relations == frozenset({rule.relation})
+
+    def test_foreign_keys_depend_on_both_sides(self, cris):
+        grouped = rules_by_kind(cris)
+        assert grouped["foreign-key"]
+        for rule in grouped["foreign-key"]:
+            assert rule.relation in rule.relations
+            assert rule.constraint.referenced_relation in rule.relations
+            assert len(rule.relations) <= 2
+
+    def test_view_rules_depend_on_every_view_leg(self, fig6,
+                                                 authorship_schema):
+        for rule in rules_by_kind(fig6)["equality-view"]:
+            assert rule.constraint.left.relation in rule.relations
+            assert rule.constraint.right.relation in rule.relations
+        for rule in rules_by_kind(authorship_schema)["subset-view"]:
+            assert rule.constraint.subset.relation in rule.relations
+            assert rule.constraint.superset.relation in rule.relations
+
+    def test_every_dependency_is_a_real_relation(self, cris):
+        result = map_schema(cris, MappingOptions())
+        names = {r.name for r in result.relational.relations}
+        for rule in compile_rules(result.relational):
+            assert rule.relations <= names

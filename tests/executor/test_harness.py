@@ -165,3 +165,64 @@ class TestDuckDBAtScale:
         assert report.backend_used == "duckdb"
         assert report.rows_loaded >= 100_000
         assert report.ok, report.render()
+
+
+class TestColumnarRoundTrip:
+    """The columnar read-back path at 1e4 rows, on every backend.
+
+    The round trip must be *exact* (empty diff at both the row and
+    the population level), the report must record which backward-map
+    implementation and bulk read path actually ran, and a backend
+    without bulk reads must degrade to the row-dict reference oracle
+    rather than fail.
+    """
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_cris_1e4_exact_round_trip(self, cris, backend):
+        report = run_validation(
+            cris, backend=backend, scale=10_000, seed=7, inject=False
+        )
+        assert report.rows_loaded >= 10_000
+        assert report.violations_on_valid == ()
+        assert report.round_trip_ok
+        assert report.round_trip_diff == {}
+        assert report.round_trip_impl == "columnar"
+        assert report.read_path == "native"
+
+    @requires_duckdb
+    def test_cris_1e4_exact_round_trip_duckdb(self, cris):
+        report = run_validation(
+            cris, backend="duckdb", scale=10_000, seed=7, inject=False
+        )
+        assert report.backend_used == "duckdb"
+        assert report.round_trip_ok
+        assert report.round_trip_diff == {}
+        assert report.round_trip_impl == "columnar"
+        # Arrow when pyarrow is importable, native column extraction
+        # otherwise — never the reference fallback.
+        assert report.read_path in ("arrow", "native")
+
+    def test_report_records_round_trip_provenance(self, fig6):
+        report = run_validation(
+            fig6, backend="memory", scale=100, seed=7, inject=False
+        )
+        decoded = json.loads(report.to_json())
+        assert decoded["round_trip"]["impl"] == "columnar"
+        assert decoded["round_trip"]["read_path"] == "native"
+        assert "(columnar map, native read)" in report.render()
+
+    def test_backend_without_bulk_reads_uses_the_reference_map(self, fig6):
+        from repro.executor import MemoryBackend, ResolvedBackend
+
+        class NoBulkRead(MemoryBackend):
+            def fetch_columns(self, relation, columns):
+                raise NotImplementedError
+
+        report = run_validation(
+            fig6, backend="memory", scale=200, seed=7, inject=False,
+            resolved=ResolvedBackend(NoBulkRead(), "memory", "memory"),
+        )
+        assert report.ok, report.render()
+        assert report.round_trip_impl == "reference"
+        assert report.read_path == "fallback"
+        assert "(reference map, fallback read)" in report.render()
