@@ -11,6 +11,13 @@ Targets: every ``examples/*.ridl`` file (suppression pragmas in the
 source are honoured) plus the in-memory CRIS case-study schema,
 linted together with its default mapping result across all dialect
 profiles.
+
+A second pass runs the static implication engine
+(``repro.analyzer.implication``) over every target and gates on
+satisfiability: a bundled schema with a provable contradiction —
+a forced-empty object type — fails the job.  The ``IMP4xx``
+findings themselves already ride in the SARIF output of the lint
+pass.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.analyzer.implication import check_implications  # noqa: E402
 from repro.cris import cris_schema  # noqa: E402
 from repro.dsl import parse  # noqa: E402
 from repro.lint import lint_schema, render_sarif, render_text  # noqa: E402
@@ -55,6 +63,28 @@ def lint_cris_mapping(out_dir: Path) -> int:
     return errors
 
 
+def implication_pass() -> int:
+    """Run the implication engine over every target; count
+    contradictions (each one fails the job)."""
+    targets = [("cris", cris_schema())]
+    for path in sorted((REPO / "examples").glob("*.ridl")):
+        targets.append((path.relative_to(REPO).as_posix(), parse(path.read_text())))
+    contradictions = 0
+    print("--- implication & satisfiability pass")
+    for label, schema in targets:
+        result = check_implications(schema)
+        print(
+            f"{label}: {len(result.implied)} implied, "
+            f"{len(result.forced_empty)} forced-empty, "
+            f"{len(result.contradictions)} contradiction(s)"
+        )
+        for verdict in result.contradictions:
+            print(f"  CONTRADICTION {verdict.subject}:")
+            print("    " + verdict.proof.render_inline())
+        contradictions += len(result.contradictions)
+    return contradictions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -70,11 +100,12 @@ def main(argv: list[str] | None = None) -> int:
     for path in sorted((REPO / "examples").glob("*.ridl")):
         errors += lint_ridl_file(path, namespace.out)
     errors += lint_cris_mapping(namespace.out)
+    errors += implication_pass()
 
     if errors:
         print(f"FAILED: {errors} error-severity finding(s)")
         return 1
-    print("OK: zero error-severity findings")
+    print("OK: zero error-severity findings, all targets satisfiable")
     return 0
 
 

@@ -3,7 +3,10 @@
 Four functions: (1) correctness of the schema against the rules of
 the BRM, (2) completeness, (3) consistency of the set-algebraic
 constraints over role and object-type populations, (4) detection of
-non-referable object types.
+non-referable object types — plus the constraint implication &
+satisfiability engine (:mod:`repro.analyzer.implication`), which
+proves redundancy, contradiction and forced-emptiness verdicts with
+minimal proof chains.
 """
 
 from repro.analyzer.api import analyze, require_mappable
@@ -11,17 +14,32 @@ from repro.analyzer.completeness import check_completeness
 from repro.analyzer.consistency import ConsistencyResult, check_consistency
 from repro.analyzer.correctness import check_correctness
 from repro.analyzer.diagnostics import AnalysisReport, Diagnostic, Severity
+from repro.analyzer.implication import (
+    ImplicationResult,
+    Verdict,
+    VerdictKind,
+    check_implications,
+    require_satisfiable,
+)
+from repro.analyzer.proofs import Proof, ProofStep
 from repro.analyzer.referability import check_referability
 
 __all__ = [
     "AnalysisReport",
     "ConsistencyResult",
     "Diagnostic",
+    "ImplicationResult",
+    "Proof",
+    "ProofStep",
     "Severity",
+    "Verdict",
+    "VerdictKind",
     "analyze",
     "check_completeness",
     "check_consistency",
     "check_correctness",
+    "check_implications",
     "check_referability",
     "require_mappable",
+    "require_satisfiable",
 ]

@@ -1,0 +1,78 @@
+"""Proof chains for the constraint implication engine.
+
+Every verdict of :mod:`repro.analyzer.implication` carries a *minimal
+proof chain*: the ordered list of facts — structural inclusions of
+the binary schema and the implying constraints themselves — from
+which the verdict follows.  The chain doubles as an unsat-core-style
+witness: re-checking a proof means replaying exactly its premises,
+nothing else, which is what the harness's kill-shot test does
+dynamically (no surgical violation of an implied rule can satisfy
+all of its premises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One inference step.
+
+    ``statement`` is the human-readable fact used (an inclusion, an
+    interval bound, a disjointness); ``premise`` names the constraint
+    the fact comes from, or is ``None`` for facts that hold by the
+    structure of the schema (a role's population is included in its
+    player's, a sublink equals its subtype, ...).
+    """
+
+    statement: str
+    premise: str | None = None
+
+    def render(self) -> str:
+        by = "schema structure" if self.premise is None else (
+            f"constraint {self.premise!r}"
+        )
+        return f"{self.statement} [by {by}]"
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A conclusion with the ordered steps that establish it."""
+
+    conclusion: str
+    steps: tuple[ProofStep, ...] = ()
+
+    @property
+    def premises(self) -> tuple[str, ...]:
+        """The implying constraint names, deduplicated in step order.
+
+        Structural steps contribute no premise: a proof whose only
+        steps are structural has an empty premise tuple and holds in
+        every schema with these elements.
+        """
+        seen: list[str] = []
+        for step in self.steps:
+            if step.premise is not None and step.premise not in seen:
+                seen.append(step.premise)
+        return tuple(seen)
+
+    def extended(self, conclusion: str, *steps: ProofStep) -> "Proof":
+        """A new proof reusing this one's chain plus ``steps``."""
+        return Proof(conclusion=conclusion, steps=self.steps + steps)
+
+    def render(self, indent: str = "  ") -> str:
+        """The multi-line engineer-facing rendering."""
+        lines = [self.conclusion]
+        lines.extend(
+            f"{indent}{i}. {step.render()}"
+            for i, step in enumerate(self.steps, start=1)
+        )
+        return "\n".join(lines)
+
+    def render_inline(self) -> str:
+        """A single-line rendering for lint messages and reports."""
+        chain = "; ".join(step.render() for step in self.steps)
+        return f"{self.conclusion} (proof: {chain})" if chain else (
+            self.conclusion
+        )

@@ -196,7 +196,14 @@ class EqualityConstraint(Constraint):
 @dataclass(frozen=True)
 class FrequencyConstraint(Constraint):
     """Each participating instance plays ``role`` between ``minimum``
-    and ``maximum`` times (``maximum`` may be ``None`` for unbounded)."""
+    and ``maximum`` times (``maximum`` may be ``None`` for unbounded).
+
+    The bound ranges over *participating* instances, so ``minimum=1``
+    is vacuous on its own.  ``(minimum=0, maximum=0)`` is the legal
+    "never plays" form: it forces the role's population empty (the
+    implication engine reports the role ``FORCED_EMPTY``).  Any other
+    ``maximum < minimum`` is rejected as an empty interval.
+    """
 
     role: RoleId = field(default=None)  # type: ignore[assignment]
     minimum: int = 1
@@ -212,10 +219,10 @@ class FrequencyConstraint(Constraint):
             raise ConstraintError(
                 f"frequency constraint {self.name!r}: minimum must be >= 0"
             )
-        if self.maximum is not None and self.maximum < max(self.minimum, 1):
+        if self.maximum is not None and self.maximum < self.minimum:
             raise ConstraintError(
                 f"frequency constraint {self.name!r}: maximum must be >= "
-                "minimum and >= 1"
+                "minimum"
             )
 
 
@@ -237,6 +244,12 @@ class ValueConstraint(Constraint):
         if not self.values:
             raise ConstraintError(
                 f"value constraint {self.name!r} needs at least one value"
+            )
+        if len(set(self.values)) != len(self.values):
+            # Duplicates are harmless semantically but poison domain
+            # comparisons and SQL IN-lists: dedupe preserving order.
+            object.__setattr__(
+                self, "values", tuple(dict.fromkeys(self.values))
             )
 
 

@@ -347,6 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
         "the report is identical across worker counts)",
     )
     validate_cmd.add_argument(
+        "--prune-implied",
+        action="store_true",
+        default=False,
+        help="skip checker queries for rules the implication engine "
+        "proved implied by other enforced rules (the report records "
+        "the pruned rule names with their proofs)",
+    )
+    validate_cmd.add_argument(
         "--format",
         default="text",
         choices=["text", "json"],
@@ -559,6 +567,7 @@ def _run_validate(namespace: argparse.Namespace, out) -> int:
         seed=namespace.seed,
         inject=namespace.inject,
         check_workers=namespace.check_workers,
+        prune_implied=namespace.prune_implied,
     )
     if namespace.format == "json":
         out.write(report.to_json())

@@ -420,7 +420,11 @@ def _constraint(constraint) -> str:
             f"{_item(constraint.superset)}"
         )
     if isinstance(constraint, FrequencyConstraint):
-        upper = f" .. {constraint.maximum}" if constraint.maximum else ""
+        upper = (
+            f" .. {constraint.maximum}"
+            if constraint.maximum is not None
+            else ""
+        )
         return (
             f"constraint {name} frequency {_item(constraint.role)} "
             f"{constraint.minimum}{upper}"

@@ -42,7 +42,11 @@ from repro.executor.backends import (
     Violation,
     resolve_backend,
 )
-from repro.executor.compile import CompiledRule, compile_rules
+from repro.executor.compile import (
+    CompiledRule,
+    compile_rules,
+    prunable_rules,
+)
 from repro.mapper import MappingOptions, map_schema
 from repro.observability.tracer import NOOP_SPAN, Tracer
 from repro.observability.tracer import active as _obs_active
@@ -565,6 +569,9 @@ class ValidationReport:
     #: pyarrow), ``"native"`` (direct column extraction), or
     #: ``"fallback"`` (no bulk read path).
     read_path: str = "native"
+    #: Rules skipped under ``prune_implied`` (rule name -> the proof
+    #: the implication engine produced).  Empty when pruning is off.
+    pruned_rules: dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -598,6 +605,7 @@ class ValidationReport:
                 "read_path": self.read_path,
             },
             "matrix": None if self.matrix is None else self.matrix.as_dict(),
+            "pruned_rules": dict(sorted(self.pruned_rules.items())),
             # check_workers lives under "timings" deliberately: the
             # block is the report's only run-environment-dependent
             # part, and the workers-determinism contract is "reports
@@ -668,6 +676,11 @@ class ValidationReport:
                     + ", ".join(self.matrix.skipped_kinds)
                     + ")"
                 )
+        if self.pruned_rules:
+            lines.append(
+                f"  pruned {len(self.pruned_rules)} implied rule(s): "
+                + ", ".join(sorted(self.pruned_rules))
+            )
         lines.append(f"  result: {'OK' if self.ok else 'INVALID'}")
         return "\n".join(lines)
 
@@ -681,6 +694,7 @@ def run_validation(
     seed: int = 7,
     inject: bool = True,
     check_workers: int = 1,
+    prune_implied: bool = False,
     resolved: ResolvedBackend | None = None,
 ) -> ValidationReport:
     """Run the full harness on one schema under one option set.
@@ -688,13 +702,19 @@ def run_validation(
     ``check_workers > 1`` shards the compiled checker queries across
     worker processes on backends that support it (see
     :func:`run_checks`); the report is byte-identical across worker
-    counts except for the ``timings`` block.
+    counts except for the ``timings`` block.  ``prune_implied=True``
+    skips checker queries for rules the implication engine proved
+    implied by other enforced rules; the report records the pruned
+    rule names with their proofs.
     """
     with _obs_span(
         "executor.validate", schema=schema.name, backend=backend, scale=scale
     ):
         result = map_schema(schema, options or MappingOptions())
-        rules = compile_rules(result.relational)
+        pruned = prunable_rules(result) if prune_implied else {}
+        rules = compile_rules(
+            result.relational, prune_implied=prune_implied, mapping=result
+        )
         population = generate_bulk_population(
             schema, target_rows=scale, seed=seed
         )
@@ -770,6 +790,7 @@ def run_validation(
             check_workers=workers_used,
             round_trip_impl=round_trip_impl,
             read_path=read_path,
+            pruned_rules=pruned,
         )
 
 

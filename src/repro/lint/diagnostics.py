@@ -6,7 +6,8 @@ transformation trace, the generated DDL and the bidirectional map
 report, all reporting through one compiler-style diagnostic record
 with a stable machine-readable code (``BRM0xx`` schema smells,
 ``TRC1xx`` trace/losslessness checks, ``SQL2xx`` dialect checks,
-``MAP3xx`` cross-artifact checks).
+``MAP3xx`` cross-artifact checks, ``IMP4xx`` constraint-implication
+proofs).
 
 Severities reuse :class:`repro.analyzer.diagnostics.Severity` so the
 analyzer's findings port onto the lint report without translation.
@@ -24,6 +25,7 @@ ARTIFACTS = {
     "TRC": "trace",
     "SQL": "sql",
     "MAP": "map",
+    "IMP": "schema",
 }
 
 

@@ -19,6 +19,7 @@ from functools import cached_property
 from repro.analyzer import analyze
 from repro.analyzer.consistency import SubsetGraph, subset_graph_for
 from repro.analyzer.diagnostics import AnalysisReport
+from repro.analyzer.implication import ImplicationResult, check_implications
 from repro.brm.indexes import SchemaIndexes, indexes_for
 from repro.brm.schema import BinarySchema
 from repro.dsl.pragmas import SuppressionPragmas, parse_pragmas
@@ -52,6 +53,11 @@ class LintContext:
     def subset_graph(self) -> SubsetGraph:
         """The memoized population-inclusion graph."""
         return subset_graph_for(self.schema)
+
+    @cached_property
+    def implications(self) -> ImplicationResult:
+        """The memoized implication/satisfiability verdicts."""
+        return check_implications(self.schema)
 
 
 def lint_schema(

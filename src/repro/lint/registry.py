@@ -25,7 +25,7 @@ from repro.lint.diagnostics import ARTIFACTS
 #: code -> registered rule, in registration order.
 REGISTRY: dict[str, LintRule] = {}
 
-_CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3)\d\d$")
+_CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3|IMP4)\d\d$")
 
 
 @dataclass(frozen=True)
@@ -102,6 +102,7 @@ def resolve_selectors(selectors: Iterable[str]) -> frozenset[str]:
 def _load_rule_modules() -> None:
     """Import every rule module once so the registry is complete."""
     from repro.lint import (  # noqa: F401  (import-for-registration)
+        rules_implication,
         rules_map,
         rules_schema,
         rules_sql,

@@ -39,6 +39,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro.analyzer.implication import check_implications
 from repro.brm.schema import BinarySchema
 from repro.engine.cost import CostModel
 from repro.mapper.engine import map_prefix, plan_from_prefix
@@ -140,6 +141,10 @@ class CandidateOutcome:
     score: CandidateScore | None
     health: CandidateHealth | None
     error: str | None = None
+    #: How many declared constraints of this candidate's canonical
+    #: schema the implication engine proved redundant (None on
+    #: failure): a high count flags a design carrying dead weight.
+    implied_constraints: int | None = None
 
     @property
     def failed(self) -> bool:
@@ -160,6 +165,7 @@ class CandidateOutcome:
             "score": None if self.score is None else self.score.as_dict(),
             "health": None if self.health is None else self.health.as_dict(),
             "error": self.error,
+            "implied_constraints": self.implied_constraints,
         }
 
 
@@ -234,22 +240,27 @@ class AdvisorReport:
         ]
         header = (
             f"{'rank':>4}  {'total':>10}  {'fetch':>6}  {'tables':>6}  "
-            f"{'pages':>7}  {'nulls':>5}  options"
+            f"{'pages':>7}  {'nulls':>5}  {'impl':>4}  options"
         )
         lines.append(header)
         for rank, outcome in enumerate(self.top(top_k), start=1):
             if outcome.score is None:
                 lines.append(
                     f"{rank:>4}  {'FAILED':>10}  {'-':>6}  {'-':>6}  "
-                    f"{'-':>7}  {'-':>5}  {outcome.label}"
+                    f"{'-':>7}  {'-':>5}  {'-':>4}  {outcome.label}"
                     f"  [{outcome.error}]"
                 )
                 continue
             s = outcome.score
+            implied = (
+                "-"
+                if outcome.implied_constraints is None
+                else str(outcome.implied_constraints)
+            )
             lines.append(
                 f"{rank:>4}  {s.total:>10.4f}  {s.entity_fetch_pages:>6}  "
                 f"{s.tables:>6}  {s.storage_pages:>7}  "
-                f"{s.nullable_columns:>5}  {outcome.label}"
+                f"{s.nullable_columns:>5}  {implied:>4}  {outcome.label}"
             )
         if self.winner is not None:
             lines.append(f"winner: {self.winner.label}")
@@ -407,6 +418,9 @@ def _run_group(task: _GroupTask) -> list[CandidateOutcome]:
                         plan, task.profile, task.weights, task.model
                     ),
                     health=CandidateHealth.from_report(health),
+                    implied_constraints=len(
+                        check_implications(plan.schema).implied
+                    ),
                 )
             )
         except Exception as exc:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 
+from repro.analyzer.implication import require_satisfiable
 from repro.brm.datatypes import DataType, DataTypeKind
 from repro.brm.facts import RoleId
 from repro.brm.population import Population
@@ -91,7 +92,13 @@ def generate_population(
     ``seed`` fully determines the result — every caller that needs
     byte-reproducible populations (the validation harness, the CLI,
     the benchmarks) passes it explicitly.
+
+    An unsatisfiable schema raises :class:`PopulationError` carrying
+    the implication engine's contradiction proofs *before* the fill
+    fixpoint runs — the fixpoint cannot converge to a valid state
+    that provably does not exist.
     """
+    require_satisfiable(schema)
     with _obs_span(
         "workloads.generate_population",
         schema=schema.name,
@@ -326,7 +333,11 @@ def generate_bulk_population(
     translated into ``instances_per_type`` via
     :func:`estimated_rows_per_instance`.  ``seed`` is mandatory —
     bulk runs exist to be reproduced.
+
+    Like :func:`generate_population`, fails fast with the
+    contradiction proofs when the schema is unsatisfiable.
     """
+    require_satisfiable(schema)
     instances = max(2, target_rows // estimated_rows_per_instance(schema))
     with _obs_span(
         "workloads.generate_bulk_population",

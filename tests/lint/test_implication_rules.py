@@ -1,0 +1,120 @@
+"""The ``IMP4xx`` implication-proof lint rules."""
+
+from repro.brm import SchemaBuilder, char
+from repro.dsl import to_dsl
+from repro.lint import lint_schema
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def schema_with_redundant_subset():
+    b = SchemaBuilder("T")
+    b.nolot("P").lot("K", char(3)).lot("L", char(3)).lot("M", char(3))
+    b.fact("f", ("P", "x"), ("K", "y"))
+    b.fact("g", ("P", "x"), ("L", "y"))
+    b.fact("h", ("P", "x"), ("M", "y"))
+    b.subset(("h", "x"), ("g", "x"), name="S1")
+    b.subset(("g", "x"), ("f", "x"), name="S2")
+    b.subset(("h", "x"), ("f", "x"), name="S3")
+    return b.build()
+
+
+class TestImpliedRules:
+    def test_imp401_names_subject_and_proof_chain(self):
+        report = lint_schema(schema_with_redundant_subset())
+        (finding,) = [
+            d for d in report.diagnostics if d.code == "IMP401"
+        ]
+        assert finding.subject == "S3"
+        assert "S1" in finding.message and "S2" in finding.message
+        assert "proof:" in finding.message
+
+    def test_imp402_and_imp401_on_mutual_implication(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.subset(("g", "x"), ("f", "x"), name="S1")
+        b.subset(("f", "x"), ("g", "x"), name="S2")
+        b.equality(("f", "x"), ("g", "x"), name="E1")
+        found = codes(lint_schema(b.build()))
+        assert "IMP402" in found
+        assert found.count("IMP401") == 2
+
+    def test_imp403_and_imp404_on_uniqueness_frequency_pair(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.unique(("f", "x"), name="U1")
+        b.frequency(("f", "x"), 1, 1, name="F1")
+        found = codes(lint_schema(b.build()))
+        assert "IMP403" in found and "IMP404" in found
+
+    def test_imp405_on_contained_value_domain(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.values("K", ("a", "b", "c"), name="VWIDE")
+        b.values("K", ("a", "b"), name="VTIGHT")
+        report = lint_schema(b.build())
+        subjects = [
+            d.subject for d in report.diagnostics if d.code == "IMP405"
+        ]
+        assert subjects == ["VWIDE"]
+
+
+class TestEmptinessAndContradictionRules:
+    def test_imp406_on_forced_empty_role(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3)).lot("L", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.fact("g", ("P", "x"), ("L", "y"))
+        b.subset(("g", "x"), ("f", "x"), name="S1")
+        b.exclusion(("f", "x"), ("g", "x"), name="X1")
+        report = lint_schema(b.build())
+        subjects = {
+            d.subject for d in report.diagnostics if d.code == "IMP406"
+        }
+        assert "g.x" in subjects
+
+    def test_imp407_is_an_error_and_gates_the_report(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.frequency(("f", "x"), 2, 3, name="F1")
+        b.frequency(("f", "x"), 5, 9, name="F2")
+        report = lint_schema(b.build())
+        imp407 = [d for d in report.diagnostics if d.code == "IMP407"]
+        assert imp407 and all(
+            d.severity.value == "error" for d in imp407
+        )
+        assert report.errors
+
+    def test_imp408_on_disjoint_value_domains(self):
+        b = SchemaBuilder("T")
+        b.nolot("P").lot("K", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.values("K", ("a", "b"), name="V1")
+        b.values("K", ("c", "d"), name="V2")
+        report = lint_schema(b.build())
+        subjects = {
+            d.subject for d in report.diagnostics if d.code == "IMP408"
+        }
+        assert "K" in subjects
+
+
+class TestSelectionAndSuppression:
+    def test_family_prefix_selects_only_imp_rules(self):
+        report = lint_schema(
+            schema_with_redundant_subset(), select=["IMP"]
+        )
+        assert codes(report) == ["IMP401"]
+
+    def test_file_pragma_suppresses_imp_findings(self):
+        schema = schema_with_redundant_subset()
+        source = to_dsl(schema) + "\n-- lint: disable=IMP401\n"
+        report = lint_schema(schema, source=source)
+        assert "IMP401" not in codes(report)
+        assert report.suppressed >= 1

@@ -15,7 +15,7 @@ from repro.lint import REGISTRY, all_rules, resolve_selectors
 
 DOCS = Path(__file__).resolve().parents[2] / "docs" / "LINTING.md"
 
-CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3)\d\d$")
+CODE_SHAPE = re.compile(r"^(BRM0|TRC1|SQL2|MAP3|IMP4)\d\d$")
 SLUG_SHAPE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
 
 
@@ -45,7 +45,13 @@ def test_slugs_are_unique():
 
 
 def test_artifact_matches_code_prefix():
-    families = {"BRM": "schema", "TRC": "trace", "SQL": "sql", "MAP": "map"}
+    families = {
+        "BRM": "schema",
+        "TRC": "trace",
+        "SQL": "sql",
+        "MAP": "map",
+        "IMP": "schema",
+    }
     for rule in all_rules():
         assert rule.artifact == families[rule.code[:3]], rule.code
 

@@ -186,6 +186,17 @@ class TestAdvise:
             assert outcome.health is None
             assert "Invited_Paper" in outcome.error
 
+    def test_implied_constraint_counts_surface(self, schema):
+        report = advise(schema, SMALL_SPACE, workers=1)
+        for outcome in report.ranked:
+            if outcome.failed:
+                assert outcome.implied_constraints is None
+            else:
+                assert isinstance(outcome.implied_constraints, int)
+                assert outcome.implied_constraints >= 0
+            assert "implied_constraints" in outcome.as_dict()
+        assert "impl" in report.render()
+
     def test_json_shape(self, schema):
         import json
 

@@ -85,3 +85,31 @@ class TestPopulationGenerator:
         assert generate_population(schema, seed=1) == generate_population(
             schema, seed=1
         )
+
+
+class TestUnsatisfiableSchemas:
+    def _contradictory(self):
+        from repro.brm import SchemaBuilder, char
+
+        b = SchemaBuilder("Unsat")
+        b.nolot("P").lot("K", char(3))
+        b.fact("f", ("P", "x"), ("K", "y"))
+        b.frequency(("f", "x"), 2, 3, name="F1")
+        b.frequency(("f", "x"), 5, 9, name="F2")
+        return b.build()
+
+    def test_generate_population_fails_fast_with_proof(self):
+        from repro.errors import PopulationError
+        from repro.workloads import generate_population
+
+        with pytest.raises(PopulationError, match="no common play count"):
+            generate_population(self._contradictory(), seed=1)
+
+    def test_generate_bulk_population_fails_fast_with_proof(self):
+        from repro.errors import PopulationError
+        from repro.workloads import generate_bulk_population
+
+        with pytest.raises(PopulationError, match="F1"):
+            generate_bulk_population(
+                self._contradictory(), target_rows=100, seed=1
+            )
