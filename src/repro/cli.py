@@ -14,6 +14,8 @@ loop of the paper's figure 1::
     python -m repro map conference.ridl --trace trace.json
     python -m repro profile conference.ridl --pipeline advise --top-k 10
     python -m repro validate conference.ridl --backend sqlite --scale 10000
+    python -m repro reverse legacy.sql --dialect oracle
+    python -m repro reverse conference.ridl --fixpoint --scale 10000
 
 ``map`` prints DDL; ``report`` writes the full artifact set (DDL for
 every dialect, forwards/backwards map report, transformation trace)
@@ -24,12 +26,13 @@ step; ``--best-effort`` lets the fault-tolerant session quarantine bad
 rules and skip failed option phases, prints the health report, and
 exits with code 5 when the result is degraded.  Exit codes are
 distinct per failure class: 0 success, 1 analysis found the schema
-unmappable (or ``lint`` found errors), 2 parse/usage errors, 3
-analysis failures, 4 mapping failures, 5 degraded best-effort
-success (or ``validate`` falling back from an unavailable backend),
-6 ``validate`` found the mapped state invalid — a rule violated on a
-valid population, a non-empty round-trip diff, or a non-diagonal
-detection matrix.  Every argument error — argparse's own and our
+unmappable (or ``lint`` found errors, or ``reverse`` could not lift
+the DDL), 2 parse/usage errors, 3 analysis failures, 4 mapping
+failures, 5 degraded best-effort success (or ``validate`` falling
+back from an unavailable backend), 6 ``validate`` found the mapped
+state invalid — a rule violated on a valid population, a non-empty
+round-trip diff, or a non-diagonal detection matrix — or ``reverse
+--fixpoint`` found a round-trip divergence.  Every argument error — argparse's own and our
 option validation alike — prints a one-line message and exits 2.
 
 ``validate`` runs the empirical-losslessness harness
@@ -41,8 +44,16 @@ the state, and (unless ``--no-inject``) replays one surgical
 violation per mutator kind to confirm the detection matrix is
 diagonal.  ``--format json`` prints the machine-readable report.
 
+``reverse`` walks the mapping backwards (:mod:`repro.mapper.reverse`):
+it parses a relational DDL script, lifts it to a binary schema with
+per-element provenance, and prints the lifted schema in the DSL; with
+``--fixpoint`` it instead takes a DSL schema and asserts the
+differential round-trip ``lift(emit(S))`` is a fixpoint (DDL
+idempotence, structural digest, implication closure, and — with
+``--scale`` — identical empirical validation).
+
 ``--trace FILE`` (on ``map``/``report``/``advise``/``lint``/
-``profile``) records the run with the tracing layer of
+``profile``/``reverse``) records the run with the tracing layer of
 :mod:`repro.observability` and writes the deterministic JSON span
 tree — or, with ``--trace-format chrome``, a ``chrome://tracing``
 file with real timings.  ``profile`` runs one pipeline under the
@@ -294,6 +305,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_trace_arguments(profile_cmd)
 
+    reverse_cmd = commands.add_parser(
+        "reverse",
+        help="lift relational DDL back to a binary schema, or check "
+        "the lift/remap fixpoint on a DSL schema",
+    )
+    reverse_cmd.add_argument(
+        "schema",
+        type=Path,
+        help="DDL script to lift (a DSL schema with --fixpoint)",
+    )
+    reverse_cmd.add_argument(
+        "--dialect",
+        default="sql2",
+        choices=sorted(PROFILES),
+        help="DDL dialect of the input, or the dialect to round-trip "
+        "through under --fixpoint (default: sql2)",
+    )
+    reverse_cmd.add_argument(
+        "--fixpoint",
+        action="store_true",
+        default=False,
+        help="treat the input as a DSL schema: map it, lift the DDL, "
+        "remap, and assert the differential fixpoint (exit 6 on "
+        "divergence)",
+    )
+    _add_option_arguments(reverse_cmd)
+    reverse_cmd.add_argument(
+        "--scale",
+        type=int,
+        default=0,
+        metavar="ROWS",
+        help="with --fixpoint: also run the empirical leg, validating "
+        "a population of ROWS relational rows on both the source and "
+        "the lifted schema (default 0: skip)",
+    )
+    reverse_cmd.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        metavar="N",
+        help="population seed for the empirical leg (default 7)",
+    )
+    reverse_cmd.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    _add_trace_arguments(reverse_cmd)
+
     validate_cmd = commands.add_parser(
         "validate",
         help="run the empirical-losslessness harness on an execution "
@@ -521,6 +582,8 @@ def _dispatch(namespace: argparse.Namespace, out, tracer=None) -> int:
         return _run_profile(namespace, out, tracer)
     if namespace.command == "validate":
         return _run_validate(namespace, out)
+    if namespace.command == "reverse":
+        return _run_reverse(namespace, out)
     raise RidlError(f"unknown command {namespace.command!r}")
 
 
@@ -581,6 +644,46 @@ def _run_validate(namespace: argparse.Namespace, out) -> int:
     ):
         # The harness ran, but not where the user asked it to.
         return EXIT_DEGRADED
+    return EXIT_OK
+
+
+def _run_reverse(namespace: argparse.Namespace, out) -> int:
+    """The ``reverse`` subcommand: lift DDL, or assert the fixpoint.
+
+    Exit codes: 0 lifted (or fixpoint holds), 1 the DDL parsed but
+    could not be lifted, 2 parse/usage errors, 6 fixpoint divergence.
+    """
+    import json as _json
+
+    from repro.dsl import to_dsl
+    from repro.mapper.reverse import LiftError, check_fixpoint, lift_ddl
+
+    if namespace.fixpoint:
+        report = check_fixpoint(
+            _load(namespace.schema),
+            _options_from(namespace),
+            dialect=namespace.dialect,
+            empirical_scale=namespace.scale,
+            seed=namespace.seed,
+        )
+        if namespace.format == "json":
+            out.write(_json.dumps(report.as_dict(), indent=2) + "\n")
+        else:
+            print(report.describe(), file=out)
+        return EXIT_OK if report.ok else EXIT_INVALID
+    text = namespace.schema.read_text()
+    try:
+        lifted = lift_ddl(text, namespace.dialect)
+    except LiftError as exc:
+        print(f"error: {exc}", file=out)
+        return EXIT_UNMAPPABLE
+    if namespace.format == "json":
+        payload = lifted.report.as_dict()
+        payload["dsl"] = to_dsl(lifted.schema)
+        out.write(_json.dumps(payload, indent=2) + "\n")
+    else:
+        print(to_dsl(lifted.schema), file=out)
+        print(lifted.report.describe(), file=out)
     return EXIT_OK
 
 

@@ -35,7 +35,24 @@ from repro.mapper.optionspace import (
     enumerate_options,
 )
 
+# Imported last: reverse lifts DDL back through the same naming and
+# options machinery the forward imports above set up.
+from repro.mapper.reverse import (
+    FixpointReport,
+    LiftReport,
+    LiftResult,
+    check_fixpoint,
+    lift_ddl,
+    lift_schema,
+)
+
 __all__ = [
+    "FixpointReport",
+    "LiftReport",
+    "LiftResult",
+    "check_fixpoint",
+    "lift_ddl",
+    "lift_schema",
     "AdvisorReport",
     "AppliedStep",
     "CandidateOutcome",

@@ -6,6 +6,7 @@ from repro.errors import SqlGenerationError
 from repro.relational.schema import RelationalSchema
 from repro.sql.dialects import DB2, INGRES, ORACLE, PROFILES, SQL2, SYBASE
 from repro.sql.emitter import DdlEmitter, DialectProfile
+from repro.sql.parse import DdlParseError, ParseResult, parse_ddl
 from repro.sql.pseudo import as_comment, render_constraint, render_select
 
 
@@ -39,13 +40,16 @@ __all__ = [
     "DB2",
     "SYBASE",
     "DdlEmitter",
+    "DdlParseError",
     "DialectProfile",
     "INGRES",
     "ORACLE",
     "PROFILES",
+    "ParseResult",
     "SQL2",
     "as_comment",
     "generate_sql",
+    "parse_ddl",
     "render_constraint",
     "render_select",
 ]

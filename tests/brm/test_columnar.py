@@ -18,7 +18,14 @@ from hypothesis import strategies as st
 from repro.brm import ColumnarPopulation, Population, RoleId
 from repro.cris import figure6_population, figure6_schema
 from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
-from repro.workloads import SchemaShape, generate_population, generate_schema
+from repro.workloads import generate_population, generate_schema
+
+from tests.strategies import (
+    DEFAULT_SHAPE,
+    FULL_SHAPE,
+    PLAIN_SHAPE,
+    RICH_SHAPE,
+)
 
 
 def assert_columnar_equals_oracle(
@@ -129,15 +136,7 @@ class TestOracleEquivalence:
         population_seed=st.integers(min_value=0, max_value=40),
     )
     def test_generated_populations(self, schema_seed, population_seed):
-        schema = generate_schema(
-            SchemaShape(
-                entity_types=6,
-                exclusion_groups=1,
-                subtype_own_identifier_ratio=0.5,
-                rich_constraints=True,
-            ),
-            seed=schema_seed,
-        )
+        schema = generate_schema(FULL_SHAPE, seed=schema_seed)
         population, columnar = _sync_pair(schema, population_seed)
         assert_columnar_equals_oracle(population, columnar)
 
@@ -149,9 +148,7 @@ class TestOracleEquivalence:
     @given(seed=st.integers(min_value=0, max_value=30))
     def test_equivalence_after_randomized_mutations(self, seed):
         rng = random.Random(seed)
-        schema = generate_schema(
-            SchemaShape(entity_types=5, rich_constraints=True), seed=seed
-        )
+        schema = generate_schema(RICH_SHAPE, seed=seed)
         population, columnar = _sync_pair(schema, seed)
         for step in range(15):
             _random_mutation(population, columnar, rng, step)
@@ -160,7 +157,7 @@ class TestOracleEquivalence:
     @settings(max_examples=10, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=40))
     def test_round_trip_is_lossless(self, seed):
-        schema = generate_schema(SchemaShape(entity_types=6), seed=seed)
+        schema = generate_schema(PLAIN_SHAPE, seed=seed)
         population, columnar = _sync_pair(schema, seed)
         rebuilt = columnar.to_population()
         assert rebuilt == population
@@ -206,10 +203,7 @@ class TestStateMapEquivalence:
     )
     def test_forward_map_agrees_across_representations(self, seed, policies):
         null_policy, sublink_policy = policies
-        schema = generate_schema(
-            SchemaShape(entity_types=6, subtype_own_identifier_ratio=0.5),
-            seed=seed,
-        )
+        schema = generate_schema(DEFAULT_SHAPE, seed=seed)
         population = generate_population(
             schema, instances_per_type=4, seed=seed
         )

@@ -1,10 +1,24 @@
-"""Property-based tests: DSL round trip over generated schemas."""
+"""Property-based tests: DSL round trip over generated schemas.
+
+``parse(to_dsl(schema)) == schema`` must hold for every schema the
+workload generator can produce — including fully randomized shapes
+covering every constraint kind the DSL can express (uniqueness,
+totality, frequency, subset, equality, exclusion, total union,
+value restrictions) — and the rendering itself must be deterministic.
+"""
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.dsl import parse, to_dsl
-from repro.workloads import SchemaShape, generate_schema
+from repro.workloads import generate_schema
+
+from tests.strategies import (
+    DSL_SHAPE,
+    PLAIN_SHAPE,
+    RICH_SHAPE,
+    shaped_schemas,
+)
 
 
 class TestDslRoundTripProperties:
@@ -15,21 +29,36 @@ class TestDslRoundTripProperties:
     )
     @given(seed=st.integers(min_value=0, max_value=500))
     def test_generated_schemas_round_trip(self, seed):
-        schema = generate_schema(
-            SchemaShape(entity_types=6, exclusion_groups=1), seed=seed
-        )
+        schema = generate_schema(DSL_SHAPE, seed=seed)
         assert parse(to_dsl(schema)) == schema
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=100))
     def test_rich_constraint_schemas_round_trip(self, seed):
-        schema = generate_schema(
-            SchemaShape(entity_types=5, rich_constraints=True), seed=seed
-        )
+        schema = generate_schema(RICH_SHAPE, seed=seed)
         assert parse(to_dsl(schema)) == schema
 
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(min_value=0, max_value=100))
     def test_serialization_is_deterministic(self, seed):
-        schema = generate_schema(SchemaShape(entity_types=5), seed=seed)
+        schema = generate_schema(PLAIN_SHAPE, seed=seed)
         assert to_dsl(schema) == to_dsl(schema.copy())
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(schema=shaped_schemas())
+    def test_round_trip_over_randomized_shapes(self, schema):
+        """The general guarantee: any generatable schema survives.
+
+        The shape itself is drawn at random, so every constraint kind
+        — and every combination the generator can compose — passes
+        through the renderer and back.
+        """
+        rendered = to_dsl(schema)
+        assert parse(rendered) == schema
+        # A second render of the parsed schema is byte-identical: the
+        # renderer is a canonical form, not merely parseable output.
+        assert to_dsl(parse(rendered)) == rendered

@@ -15,19 +15,10 @@ from hypothesis import strategies as st
 
 from repro.brm.population import ColumnarPopulation
 from repro.cris import cris_schema, figure6_schema
-from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy, map_schema
-from repro.workloads import SchemaShape, generate_population, generate_schema
+from repro.mapper import MappingOptions, map_schema
+from repro.workloads import generate_population, generate_schema
 
-OPTION_SETS = (
-    MappingOptions(),
-    MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
-    MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
-    MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
-    MappingOptions(
-        null_policy=NullPolicy.NOT_IN_KEYS,
-        sublink_policy=SublinkPolicy.INDICATOR,
-    ),
-)
+from tests.strategies import DEFAULT_SHAPE, OPTION_SETS, RICH_SHAPE
 
 
 def columns_of(database):
@@ -71,10 +62,7 @@ class TestOracleEquivalence:
         options=st.sampled_from(OPTION_SETS),
     )
     def test_random_schemas(self, seed, options):
-        schema = generate_schema(
-            SchemaShape(entity_types=6, subtype_own_identifier_ratio=0.5),
-            seed=seed,
-        )
+        schema = generate_schema(DEFAULT_SHAPE, seed=seed)
         population = generate_population(
             schema, instances_per_type=5, seed=seed
         )
@@ -88,9 +76,7 @@ class TestOracleEquivalence:
     )
     @given(seed=st.integers(min_value=0, max_value=200))
     def test_rich_constraint_schemas(self, seed):
-        schema = generate_schema(
-            SchemaShape(entity_types=5, rich_constraints=True), seed=seed
-        )
+        schema = generate_schema(RICH_SHAPE, seed=seed)
         population = generate_population(
             schema, instances_per_type=4, seed=seed
         )

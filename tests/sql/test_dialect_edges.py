@@ -1,0 +1,195 @@
+"""DialectProfile edge cases, against the emitter AND the parser.
+
+Three 1989-era trouble spots, checked on both sides of the byte
+round trip:
+
+* **identifier length** — dialects with short limits (INGRES: 24,
+  DB2: 18) would truncate long generated names, colliding names that
+  differ only past the limit.  The lint pass must flag them; the
+  emitter and parser must never truncate silently.
+* **reserved words** — a generated name that is a dialect keyword is
+  flagged by lint; the emitter writes it verbatim and the parser
+  reads it back verbatim.
+* **CHECK / FK / named-constraint support** — clauses a dialect
+  cannot express are demoted to structured comments by the emitter;
+  the parser must recover them as first-class constraints, so no
+  dialect loses information relative to SQL2.
+"""
+
+import pytest
+
+from repro.brm.datatypes import DataType, DataTypeKind
+from repro.brm.builder import SchemaBuilder
+from repro.lint import lint_schema
+from repro.mapper import MappingOptions, map_schema
+from repro.sql import DdlEmitter, PROFILES
+from repro.sql.parse import parse_ddl
+from repro.workloads import generate_schema
+
+from tests.strategies import FULL_SHAPE
+
+DIALECTS = sorted(PROFILES)
+CHAR6 = DataType(DataTypeKind.CHAR, 6)
+
+
+def build_schema(*entity_names):
+    """One anchor entity per name, each with a char(6) identifier."""
+    builder = SchemaBuilder("Edges")
+    for name in entity_names:
+        builder.nolot(name)
+        builder.lot(f"{name}_Id", CHAR6)
+        builder.identifier(name, f"{name}_Id")
+    return builder.build()
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestIdentifierLength:
+    def test_short_limit_dialects_flag_long_names(self):
+        long_name = "Extraordinarily_Long_Entity_Name"
+        schema = build_schema(long_name)
+        flagged = lint_schema(schema, dialect="db2")
+        assert "SQL203" in codes(flagged)
+
+    def test_roomy_dialects_do_not_flag(self):
+        schema = build_schema("Short")
+        assert "SQL203" not in codes(lint_schema(schema, dialect="sql2"))
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_emitter_and_parser_never_truncate(self, dialect):
+        # Two names identical up to every dialect's limit: silent
+        # truncation anywhere in the pipeline would collide them.
+        stem = "Entity_With_A_Very_Long_Shared_Prefix"
+        schema = build_schema(f"{stem}_One", f"{stem}_Two")
+        ddl = map_schema(schema, MappingOptions()).sql(dialect)
+        assert f"{stem}_One" in ddl and f"{stem}_Two" in ddl
+        parsed = parse_ddl(ddl, dialect)
+        names = [r.name for r in parsed.schema.relations]
+        assert f"{stem}_One" in names and f"{stem}_Two" in names
+        assert len(set(names)) == len(names)
+
+    def test_truncation_collision_is_flagged(self):
+        stem = "Entity_With_A_Very_Long_Shared_Prefix"
+        schema = build_schema(f"{stem}_One", f"{stem}_Two")
+        # db2's 18-character limit folds both names together.
+        flagged = lint_schema(schema, dialect="db2")
+        too_long = [
+            d for d in flagged.diagnostics if d.code == "SQL203"
+        ]
+        assert len(too_long) >= 2
+
+
+class TestReservedWords:
+    def test_reserved_name_is_flagged(self):
+        schema = build_schema("User")
+        # USER is reserved in the SQL2 profile.
+        assert "SQL204" in codes(lint_schema(schema, dialect="sql2"))
+
+    def test_non_reserved_is_clean(self):
+        schema = build_schema("Paper")
+        assert "SQL204" not in codes(lint_schema(schema, dialect="sql2"))
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_reserved_name_round_trips_verbatim(self, dialect):
+        schema = build_schema("User", "Plan")
+        ddl = map_schema(schema, MappingOptions()).sql(dialect)
+        parsed = parse_ddl(ddl, dialect)
+        names = {r.name for r in parsed.schema.relations}
+        assert {"User", "Plan"} <= names
+
+
+class TestConstraintSupport:
+    """Unsupported clauses demote to comments, but parse back whole."""
+
+    @pytest.fixture(scope="class")
+    def per_dialect(self):
+        schema = generate_schema(FULL_SHAPE, seed=13)
+        result = map_schema(schema, MappingOptions())
+        return {
+            dialect: parse_ddl(result.sql(dialect), dialect)
+            for dialect in DIALECTS
+        }, result
+
+    def test_roster_disagrees(self):
+        # The suite below is only meaningful if the profiles differ.
+        assert {p.supports_check for p in PROFILES.values()} == {True, False}
+        assert {
+            p.supports_foreign_keys for p in PROFILES.values()
+        } == {True, False}
+        assert {
+            p.supports_named_constraints for p in PROFILES.values()
+        } == {True, False}
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_checks_recovered_everywhere(self, per_dialect, dialect):
+        parsed, result = per_dialect
+        reference = {
+            c.name
+            for r in result.relational.relations
+            for c in result.relational.checks(r.name)
+        }
+        got = {
+            c.name
+            for r in parsed[dialect].schema.relations
+            for c in parsed[dialect].schema.checks(r.name)
+        }
+        assert got == reference
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_foreign_keys_recovered_everywhere(self, per_dialect, dialect):
+        parsed, result = per_dialect
+        reference = {
+            (fk.name, fk.columns, fk.referenced_relation)
+            for r in result.relational.relations
+            for fk in result.relational.foreign_keys(r.name)
+        }
+        got = {
+            (fk.name, fk.columns, fk.referenced_relation)
+            for r in parsed[dialect].schema.relations
+            for fk in parsed[dialect].schema.foreign_keys(r.name)
+        }
+        assert got == reference
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_constraint_names_recovered_everywhere(
+        self, per_dialect, dialect
+    ):
+        # Even where the dialect cannot name constraints inline
+        # (INGRES), the comment grammar carries the names through.
+        parsed, result = per_dialect
+        assert {c.name for c in parsed[dialect].schema.constraints} == {
+            c.name for c in result.relational.constraints
+        }
+
+    def test_unsupported_check_is_commented(self):
+        schema = generate_schema(FULL_SHAPE, seed=13)
+        result = map_schema(schema, MappingOptions())
+        for dialect in DIALECTS:
+            if PROFILES[dialect].supports_check:
+                continue
+            for line in result.sql(dialect).splitlines():
+                if "CHECK(" in line:
+                    assert line.lstrip().startswith("--") or (
+                        "CHECK(" in line.split("-- ", 1)[-1]
+                        and "-- " in line
+                    ), line
+
+    def test_unsupported_fk_is_commented(self):
+        schema = generate_schema(FULL_SHAPE, seed=13)
+        result = map_schema(schema, MappingOptions())
+        for dialect in DIALECTS:
+            if PROFILES[dialect].supports_foreign_keys:
+                continue
+            for line in result.sql(dialect).splitlines():
+                if "REFERENCES" in line:
+                    assert "--" in line.split("REFERENCES")[0], line
+
+    @pytest.mark.parametrize("dialect", DIALECTS)
+    def test_reemission_stays_byte_stable(self, per_dialect, dialect):
+        parsed, result = per_dialect
+        emitter = DdlEmitter(PROFILES[dialect])
+        assert emitter.emit(parsed[dialect].schema, ()) == emitter.emit(
+            result.relational, ()
+        )

@@ -1,0 +1,126 @@
+"""Shared hypothesis strategies for randomized BRM schemas.
+
+The randomized-schema recipes — a :class:`SchemaShape` driven by a
+seeded :func:`generate_schema`, a palette of mapping-option sets, and
+the SQL dialect roster — used to be restated in every property suite
+(``tests/mapper/test_backward_columnar.py``,
+``tests/brm/test_columnar.py``, ``tests/dsl/test_dsl_properties.py``,
+…).  This module is the single home: import the named shapes and the
+strategy factories instead of re-deriving them.
+
+The strategies stay deliberately seed-based (hypothesis draws an
+integer, :func:`generate_schema` expands it deterministically) so
+failures shrink to a single reportable seed and the CI fuzzer can
+replay any example from its log line.
+"""
+
+from hypothesis import strategies as st
+
+from repro.mapper import MappingOptions, NullPolicy, SublinkPolicy
+from repro.sql import PROFILES
+from repro.workloads import SchemaShape, generate_schema
+
+#: The mapping-option palette property suites sweep: every sublink
+#: policy, both restrictive null policies, and the paper's default.
+OPTION_SETS = (
+    MappingOptions(),
+    MappingOptions(sublink_policy=SublinkPolicy.TOGETHER),
+    MappingOptions(sublink_policy=SublinkPolicy.INDICATOR),
+    MappingOptions(null_policy=NullPolicy.NOT_ALLOWED),
+    MappingOptions(
+        null_policy=NullPolicy.NOT_IN_KEYS,
+        sublink_policy=SublinkPolicy.INDICATOR,
+    ),
+)
+
+#: Six entity types, half the subtypes carrying their own identifier:
+#: the workhorse shape for mapper/state-map equivalence suites.
+DEFAULT_SHAPE = SchemaShape(entity_types=6, subtype_own_identifier_ratio=0.5)
+
+#: Five entity types with the full rich-constraint repertoire
+#: (subsets, equalities, exclusions, total unions, values).
+RICH_SHAPE = SchemaShape(entity_types=5, rich_constraints=True)
+
+#: The DSL round-trip shape: exclusion groups exercise the renderer's
+#: multi-item constraint syntax.
+DSL_SHAPE = SchemaShape(entity_types=6, exclusion_groups=1)
+
+#: Compact shape for population-heavy suites where every example
+#: builds and mutates full populations.
+SMALL_SHAPE = SchemaShape(entity_types=4)
+
+#: Everything at once: subtypes with own identifiers, exclusion
+#: groups, and the rich-constraint repertoire.
+FULL_SHAPE = SchemaShape(
+    entity_types=6,
+    exclusion_groups=1,
+    subtype_own_identifier_ratio=0.5,
+    rich_constraints=True,
+)
+
+#: Six plain entity types, no extras — for lossless round trips
+#: where the schema is scenery, not subject.
+PLAIN_SHAPE = SchemaShape(entity_types=6)
+
+
+def seeds(max_seed: int = 200) -> st.SearchStrategy:
+    """An integer seed for :func:`generate_schema`."""
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+def schemas(
+    shape: SchemaShape = DEFAULT_SHAPE, max_seed: int = 200
+) -> st.SearchStrategy:
+    """A generated :class:`BinarySchema` from a seeded shape."""
+    return st.builds(
+        lambda seed: generate_schema(shape, seed=seed), seeds(max_seed)
+    )
+
+
+def mapping_options() -> st.SearchStrategy:
+    """One of the canonical option sets."""
+    return st.sampled_from(OPTION_SETS)
+
+
+def dialects() -> st.SearchStrategy:
+    """A registered SQL dialect key (``sql2``, ``oracle``, …)."""
+    return st.sampled_from(sorted(PROFILES))
+
+
+@st.composite
+def schema_shapes(draw) -> SchemaShape:
+    """A fully randomized :class:`SchemaShape`.
+
+    Unlike the named shapes above (fixed shape, random seed), this
+    varies every axis the generator exposes — entity count, subtype
+    and satellite density, alternate identifiers, exclusion groups,
+    the rich-constraint repertoire — for fuzzers that must cover the
+    whole schema space, like the reverse round-trip harness.
+    """
+    ratio = st.floats(min_value=0.0, max_value=1.0)
+    low = draw(st.integers(min_value=0, max_value=2))
+    return SchemaShape(
+        entity_types=draw(st.integers(min_value=2, max_value=12)),
+        attributes_per_entity=(
+            low,
+            draw(st.integers(min_value=max(low, 2), max_value=6)),
+        ),
+        optional_ratio=draw(ratio),
+        subtype_ratio=draw(st.floats(min_value=0.0, max_value=0.6)),
+        subtype_own_identifier_ratio=draw(ratio),
+        many_to_many_per_entity=draw(ratio),
+        alternate_identifier_ratio=draw(st.floats(min_value=0.0, max_value=0.5)),
+        exclusion_groups=draw(st.integers(min_value=0, max_value=3)),
+        lot_nolot_pool=draw(st.integers(min_value=2, max_value=8)),
+        rich_constraints=draw(st.booleans()),
+        subset_ratio=draw(ratio),
+        value_ratio=draw(ratio),
+    )
+
+
+@st.composite
+def shaped_schemas(draw, max_seed: int = 10**6):
+    """A schema generated from a fully randomized shape and seed."""
+    shape = draw(schema_shapes())
+    seed = draw(st.integers(min_value=0, max_value=max_seed))
+    return generate_schema(shape, seed=seed)
